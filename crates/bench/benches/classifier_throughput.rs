@@ -1,0 +1,50 @@
+//! Classifier training and inference throughput — the daemon must review
+//! hundreds of thousands of files on real devices (§4.4).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sos_classify::{
+    multi_user_corpus, Classifier, FeatureExtractor, LogisticRegression, NaiveBayes,
+};
+
+fn classifier(c: &mut Criterion) {
+    let extractor = FeatureExtractor::default();
+    let corpus = multi_user_corpus(&extractor, 2, 7);
+    let mut group = c.benchmark_group("classifier");
+    group.sample_size(10);
+    group.bench_function("train_logreg", |b| {
+        b.iter(|| {
+            let mut model = LogisticRegression::default();
+            model.train(&corpus.features, &corpus.labels);
+            std::hint::black_box(model.predict_proba(&corpus.features[0]))
+        })
+    });
+    let mut logreg = LogisticRegression::default();
+    logreg.train(&corpus.features, &corpus.labels);
+    let mut bayes = NaiveBayes::default();
+    bayes.train(&corpus.features, &corpus.labels);
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+    group.bench_function("infer_logreg_corpus", |b| {
+        b.iter(|| {
+            let hits: usize = corpus
+                .features
+                .iter()
+                .filter(|row| logreg.predict(row))
+                .count();
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_function("infer_bayes_corpus", |b| {
+        b.iter(|| {
+            let hits: usize = corpus
+                .features
+                .iter()
+                .filter(|row| bayes.predict(row))
+                .count();
+            std::hint::black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, classifier);
+criterion_main!(benches);

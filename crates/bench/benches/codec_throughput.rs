@@ -1,0 +1,28 @@
+//! Media codec throughput: DCT encode/decode of photo-like images.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sos_media::{decode, synthetic_photo, ImageCodec};
+
+fn codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("media_codec");
+    for size in [64usize, 128] {
+        let image = synthetic_photo(size, size, 9);
+        let codec = ImageCodec::default_photo();
+        group.throughput(Throughput::Bytes((size * size) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("{size}x{size}")),
+            &image,
+            |b, image| b.iter(|| std::hint::black_box(codec.encode(image).expect("encodes"))),
+        );
+        let encoded = codec.encode(&image).expect("encodes");
+        group.bench_with_input(
+            BenchmarkId::new("decode", format!("{size}x{size}")),
+            &encoded.bytes,
+            |b, bytes| b.iter(|| std::hint::black_box(decode(bytes).expect("decodes"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! ECC encode/decode throughput: BCH page codecs at several strengths,
+//! with clean, lightly-errored and heavily-errored inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sos_ecc::{EccScheme, PageCodec};
+
+const DATA: usize = 4096;
+const SPARE: usize = 256;
+
+fn encode_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc_encode");
+    group.throughput(Throughput::Bytes(DATA as u64));
+    let mut rng = StdRng::seed_from_u64(1);
+    let data: Vec<u8> = (0..DATA).map(|_| rng.gen()).collect();
+    for scheme in [
+        EccScheme::DetectOnly,
+        EccScheme::Bch { t: 8 },
+        EccScheme::Bch { t: 18 },
+        EccScheme::PrioritySplit {
+            t: 18,
+            protected_chunks: 1,
+        },
+    ] {
+        let codec = PageCodec::new(scheme, DATA, SPARE).expect("fits");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &codec,
+            |b, codec| b.iter(|| std::hint::black_box(codec.encode(&data).expect("encodes"))),
+        );
+    }
+    group.finish();
+}
+
+fn decode_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc_decode");
+    group.throughput(Throughput::Bytes(DATA as u64));
+    let mut rng = StdRng::seed_from_u64(2);
+    let data: Vec<u8> = (0..DATA).map(|_| rng.gen()).collect();
+    let codec = PageCodec::new(EccScheme::Bch { t: 18 }, DATA, SPARE).expect("fits");
+    let clean = codec.encode(&data).expect("encodes");
+    for errors in [0usize, 4, 40] {
+        let mut corrupted = clean.clone();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..errors {
+            let bit = rng.gen_range(0..DATA * 8);
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("bch_t18", format!("{errors}_errors")),
+            &corrupted,
+            |b, raw| b.iter(|| std::hint::black_box(codec.decode(raw).expect("decodes").status)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, encode_bench, decode_bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E12 (part 1): flash operation latency by density — the simulator's
+//! modelled latencies and the simulation-engine throughput of the
+//! program/read paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sos_flash::{CellDensity, DeviceConfig, FlashDevice, PageAddr, ProgramMode, TimingModel};
+
+fn modelled_latencies(c: &mut Criterion) {
+    // Not a wall-clock benchmark: print the modelled per-op latencies so
+    // the Criterion report carries the E12 table context.
+    let timing = TimingModel::default();
+    for density in CellDensity::ALL {
+        let latency = timing.latencies(ProgramMode::native(density));
+        println!(
+            "modelled {density}: tR={:.0}us tPROG={:.0}us tBERS={:.0}us",
+            latency.read_us, latency.program_us, latency.erase_us
+        );
+    }
+    let mut group = c.benchmark_group("timing_model");
+    group.bench_function("latency_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for density in CellDensity::ALL {
+                acc += timing.latencies(ProgramMode::native(density)).program_us;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn device_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flash_device");
+    for density in [CellDensity::Tlc, CellDensity::Plc] {
+        group.bench_with_input(
+            BenchmarkId::new("program_page", density.name()),
+            &density,
+            |b, &density| {
+                let mut device = FlashDevice::new(&DeviceConfig::sim_small(density));
+                let data = vec![0xA5u8; device.page_total_bytes()];
+                let geometry = *device.geometry();
+                let mut next: u64 = 0;
+                b.iter(|| {
+                    let block = next / geometry.pages_per_block as u64;
+                    let page = (next % geometry.pages_per_block as u64) as u32;
+                    if block >= geometry.total_blocks() {
+                        // Recycle: erase everything and restart.
+                        for index in 0..geometry.total_blocks() {
+                            let _ = device.erase(index);
+                        }
+                        next = 0;
+                        return;
+                    }
+                    let addr = PageAddr {
+                        block: geometry.block_addr(block),
+                        page,
+                    };
+                    device.program(addr, &data).expect("program");
+                    next += 1;
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("read_page", density.name()),
+            &density,
+            |b, &density| {
+                let mut device = FlashDevice::new(&DeviceConfig::sim_small(density));
+                let data = vec![0x5Au8; device.page_total_bytes()];
+                let geometry = *device.geometry();
+                let addr = PageAddr {
+                    block: geometry.block_addr(0),
+                    page: 0,
+                };
+                device.program(addr, &data).expect("program");
+                b.iter(|| std::hint::black_box(device.read(addr).expect("read").injected_errors))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, modelled_latencies, device_ops);
+criterion_main!(benches);

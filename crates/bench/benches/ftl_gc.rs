@@ -1,0 +1,43 @@
+//! FTL garbage-collection policies under skewed overwrites: write
+//! throughput and amplification for greedy vs cost-benefit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sos_ecc::EccScheme;
+use sos_flash::{CellDensity, DeviceConfig, ProgramMode};
+use sos_ftl::{Ftl, FtlConfig, GcPolicy, WearLevelingConfig};
+
+fn gc_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftl_gc");
+    group.sample_size(10);
+    for policy in [GcPolicy::Greedy, GcPolicy::CostBenefit] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut config = FtlConfig::conventional(ProgramMode::native(CellDensity::Tlc));
+                    config.ecc = EccScheme::DetectOnly;
+                    config.gc_policy = policy;
+                    config.wear_leveling = WearLevelingConfig::disabled();
+                    let mut ftl = Ftl::new(&DeviceConfig::tiny(CellDensity::Tlc), config);
+                    let cap = ftl.logical_pages();
+                    let page = vec![7u8; ftl.page_bytes()];
+                    for lpn in 0..cap {
+                        ftl.write(lpn, &page).expect("fill");
+                    }
+                    let hot = cap / 5;
+                    let mut x = 1u64;
+                    for _ in 0..2 * cap {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        ftl.write(x % hot, &page).expect("write");
+                    }
+                    std::hint::black_box(ftl.stats().write_amplification())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gc_policies);
+criterion_main!(benches);

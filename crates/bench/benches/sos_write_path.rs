@@ -1,0 +1,57 @@
+//! End-to-end SOS write path: object put/get on SYS and SPARE, including
+//! ECC, stripe parity and FTL overheads — compared against the TLC
+//! baseline device.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sos_core::{BaselineDevice, ObjectStore, Partition, SosConfig, SosDevice};
+
+const OBJECT: usize = 64 * 1024;
+
+fn write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sos_write_path");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(OBJECT as u64));
+    let payload = vec![0xB7u8; OBJECT];
+    for partition in [Partition::Sys, Partition::Spare] {
+        group.bench_with_input(
+            BenchmarkId::new("sos_put", format!("{partition:?}")),
+            &partition,
+            |b, &partition| {
+                let mut device = SosDevice::new(&SosConfig::small(1));
+                let mut id = 0u64;
+                b.iter(|| {
+                    id += 1;
+                    if device.put(id, &payload, partition).is_err() {
+                        // Recycle when full.
+                        for old in 1..id {
+                            let _ = device.delete(old);
+                        }
+                        device.put(id, &payload, partition).expect("space");
+                    }
+                })
+            },
+        );
+    }
+    group.bench_function("baseline_tlc_put", |b| {
+        let mut device = BaselineDevice::tlc_small(1);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            if device.put(id, &payload, Partition::Sys).is_err() {
+                for old in 1..id {
+                    let _ = device.delete(old);
+                }
+                device.put(id, &payload, Partition::Sys).expect("space");
+            }
+        })
+    });
+    group.bench_function("sos_get_spare", |b| {
+        let mut device = SosDevice::new(&SosConfig::small(2));
+        device.put(1, &payload, Partition::Spare).expect("space");
+        b.iter(|| std::hint::black_box(device.get(1).expect("read").latency_us))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, write_path);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 / Figure 1: flash market share by device type, and the derived
+//! replacement-rate conclusions of §2.3.2.
+
+use sos_carbon::{
+    lifetime_gap, market_2020, personal_share, replacements_per_decade, share_replaced_more_than,
+};
+
+fn main() {
+    println!("# Figure 1 — flash market share by device type (2020)");
+    println!(
+        "{:<12} {:>7} {:>12} {:>14} {:>12}",
+        "category", "share", "device life", "repl/decade", "flash gap"
+    );
+    let market = market_2020();
+    for slice in &market {
+        println!(
+            "{:<12} {:>6.0}% {:>10.1} y {:>14.1} {:>11.1}x",
+            format!("{:?}", slice.category),
+            slice.share * 100.0,
+            slice.device_life_years,
+            replacements_per_decade(slice),
+            lifetime_gap(slice),
+        );
+    }
+    println!();
+    println!(
+        "personal share (phone+tablet):        {:.0}%   (paper: ~half)",
+        personal_share(&market) * 100.0
+    );
+    println!(
+        "share replaced >3x per decade:        {:.0}%   (paper: over half)",
+        share_replaced_more_than(&market, 3.0) * 100.0
+    );
+    let phone = &market[0];
+    println!(
+        "phone flash-vs-device lifetime gap:   {:.0}x   (paper: an order of magnitude)",
+        lifetime_gap(phone)
+    );
+}

@@ -1,0 +1,38 @@
+//! E5: the §1/§3 carbon arithmetic — production emissions, projections
+//! and carbon-credit pricing, as a claim-by-claim table.
+
+use sos_carbon::{all_claims, format_claims, project, CarbonPricing, ProjectionConfig};
+
+fn main() {
+    println!("# E5 — carbon footprint of flash production");
+    println!("\n## Projection (paper baseline: demand +22%/yr, intensity flat)");
+    println!(
+        "{:<6} {:>12} {:>12} {:>14}",
+        "year", "EB", "Mt CO2e", "people-equiv"
+    );
+    for year in project(&ProjectionConfig::paper_baseline(), 2030) {
+        println!(
+            "{:<6} {:>12.0} {:>12.1} {:>12.1}M",
+            year.year, year.production_eb, year.emissions_mt, year.people_equivalents_m
+        );
+    }
+    println!("\n## Density-keeps-up ablation (all density gains reach carbon intensity)");
+    for year in project(&ProjectionConfig::density_keeps_up(), 2030) {
+        if year.year == 2021 || year.year == 2030 {
+            println!(
+                "{:<6} {:>12.0} {:>12.1} {:>12.1}M",
+                year.year, year.production_eb, year.emissions_mt, year.people_equivalents_m
+            );
+        }
+    }
+    let pricing = CarbonPricing::paper_2023();
+    println!(
+        "\n## Pricing: ${}/tCO2e on ${}/TB QLC at {} kg/GB -> {:.1}% uplift (paper: ~40%)",
+        pricing.usd_per_tonne,
+        pricing.flash_usd_per_tb,
+        pricing.kg_per_gb,
+        pricing.price_uplift() * 100.0
+    );
+    println!("\n## Claim table");
+    println!("{}", format_claims(&all_claims()));
+}

@@ -1,0 +1,54 @@
+//! E6: the SOS headline gains (§4.1-§4.2) — capacity and carbon of the
+//! split device vs TLC and QLC, from both the analytic model and the
+//! constructed simulated device.
+
+use sos_carbon::{design_comparison, EmbodiedModel};
+use sos_core::sim::carbon_per_exported_gb;
+use sos_core::{BaselineDevice, ObjectStore};
+use sos_core::{SosConfig, SosDevice};
+use sos_flash::CellDensity;
+
+fn main() {
+    println!("# E6 — SOS capacity & carbon gains");
+    println!("\n## Analytic (cell-count arithmetic)");
+    for design in design_comparison(&EmbodiedModel::default(), 0.5) {
+        println!(
+            "{:<30} {:>8.4} kg/GB  {:>6.1}% of TLC",
+            design.name,
+            design.kg_per_gb,
+            design.vs_tlc * 100.0
+        );
+    }
+
+    println!("\n## Constructed devices (simulator, incl. OP/parity/pseudo losses)");
+    let model = EmbodiedModel::default();
+    let tlc = BaselineDevice::tlc_small(3);
+    let tlc_raw = tlc.partition().ftl.device().geometry().raw_bytes();
+    let tlc_kg = carbon_per_exported_gb(&model, CellDensity::Tlc, tlc_raw, tlc.capacity_bytes());
+    let qlc = BaselineDevice::qlc_small(3);
+    let qlc_kg = carbon_per_exported_gb(&model, CellDensity::Qlc, tlc_raw, qlc.capacity_bytes());
+    let sos_config = SosConfig::small(3);
+    let sos = SosDevice::new(&sos_config);
+    let sos_kg = carbon_per_exported_gb(
+        &model,
+        CellDensity::Plc,
+        sos_config.base.geometry.raw_bytes(),
+        sos.capacity_bytes(),
+    );
+    for (name, capacity, kg) in [
+        ("TLC baseline", tlc.capacity_bytes(), tlc_kg),
+        ("QLC baseline", qlc.capacity_bytes(), qlc_kg),
+        ("SOS split", sos.capacity_bytes(), sos_kg),
+    ] {
+        println!(
+            "{:<30} {:>7.1} MiB exported, {:>8.4} kg/GB, {:>6.1}% of TLC",
+            name,
+            capacity as f64 / (1 << 20) as f64,
+            kg,
+            kg / tlc_kg * 100.0
+        );
+    }
+    println!("\npaper: SOS = 2/3 of TLC carbon (-33%) and ~10% denser than QLC.");
+    println!("(constructed SOS pays extra for stripe parity + per-partition OP,");
+    println!(" so its measured ratio sits slightly above the analytic 66.7%)");
+}

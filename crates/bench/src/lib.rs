@@ -1,0 +1,1 @@
+//! Experiment harness library for the SOS reproduction.

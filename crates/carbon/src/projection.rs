@@ -1,0 +1,182 @@
+//! Fleet-scale production and emissions projections (§1, §3).
+//!
+//! Reproduces the paper's headline arithmetic: 765 EB of flash produced
+//! in 2021 embodies ~122 Mt CO2e (28M people-equivalents), growing to
+//! the equivalent of over 150M people by 2030 as bit demand outpaces
+//! density improvements.
+
+use crate::embodied::{EmbodiedModel, KG_CO2E_PER_GB_TLC, TONNES_CO2_PER_PERSON_YEAR};
+use serde::{Deserialize, Serialize};
+use sos_flash::{CellDensity, ProgramMode};
+
+/// Flash capacity produced in 2021, exabytes (ref. 11, Flash Memory
+/// Summit 2022).
+pub const PRODUCTION_2021_EB: f64 = 765.0;
+
+/// Projection assumptions.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProjectionConfig {
+    /// Base-year production, EB.
+    pub base_production_eb: f64,
+    /// Base year.
+    pub base_year: u32,
+    /// Annual growth in flash bit demand (refs 55-57: 20-30%).
+    pub annual_demand_growth: f64,
+    /// Annual improvement in carbon-per-GB from density/layer scaling
+    /// (0 = carbon intensity stays at 0.16 kg/GB; the paper's argument
+    /// is that demand growth cancels density gains, see §3).
+    pub annual_intensity_improvement: f64,
+}
+
+impl ProjectionConfig {
+    /// The paper's implicit scenario: ~22% demand growth, carbon
+    /// intensity unchanged (density gains absorbed by demand).
+    pub fn paper_baseline() -> Self {
+        ProjectionConfig {
+            base_production_eb: PRODUCTION_2021_EB,
+            base_year: 2021,
+            annual_demand_growth: 0.22,
+            annual_intensity_improvement: 0.0,
+        }
+    }
+
+    /// Optimistic scenario: vendors quadruple density by 2030 (§2.2,
+    /// Samsung 1000-layer roadmap) and all of it reaches carbon
+    /// intensity — `4^(1/9) - 1` per year.
+    pub fn density_keeps_up() -> Self {
+        ProjectionConfig {
+            annual_intensity_improvement: 4f64.powf(1.0 / 9.0) - 1.0,
+            ..ProjectionConfig::paper_baseline()
+        }
+    }
+}
+
+/// One projected year.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct YearProjection {
+    /// Calendar year.
+    pub year: u32,
+    /// Flash production, EB.
+    pub production_eb: f64,
+    /// Carbon intensity, kgCO2e/GB.
+    pub kg_per_gb: f64,
+    /// Production emissions, Mt CO2e.
+    pub emissions_mt: f64,
+    /// People-equivalents (annual world-average emitters), millions.
+    pub people_equivalents_m: f64,
+}
+
+/// Projects year-by-year production emissions through `end_year`.
+pub fn project(config: &ProjectionConfig, end_year: u32) -> Vec<YearProjection> {
+    let mut out = Vec::new();
+    for year in config.base_year..=end_year {
+        let years = (year - config.base_year) as f64;
+        let production_eb =
+            config.base_production_eb * (1.0 + config.annual_demand_growth).powf(years);
+        let kg_per_gb =
+            KG_CO2E_PER_GB_TLC / (1.0 + config.annual_intensity_improvement).powf(years);
+        // EB -> GB is 1e9; kg -> Mt is 1e-9: they cancel.
+        let emissions_mt = production_eb * kg_per_gb;
+        out.push(YearProjection {
+            year,
+            production_eb,
+            kg_per_gb,
+            emissions_mt,
+            people_equivalents_m: emissions_mt / TONNES_CO2_PER_PERSON_YEAR,
+        });
+    }
+    out
+}
+
+/// Fleet-scale saving from switching personal-device production to the
+/// SOS split design: returns `(baseline_mt, sos_mt)` emissions for the
+/// personal share of one year's production.
+pub fn sos_fleet_saving(
+    model: &EmbodiedModel,
+    production_eb: f64,
+    personal_share: f64,
+    spare_cell_fraction: f64,
+) -> (f64, f64) {
+    let personal_gb = production_eb * 1e9 * personal_share;
+    let tlc = model.kg_per_gb_at_reference(ProgramMode::native(CellDensity::Tlc));
+    let spare = ProgramMode::native(CellDensity::Plc);
+    let sys = ProgramMode::pseudo(CellDensity::Plc, CellDensity::Qlc);
+    // Cell-fraction split (the paper's 50/50-by-silicon arithmetic).
+    let avg_bits = sos_flash::density::split_device_bits_per_cell(spare_cell_fraction, spare, sys);
+    let sos = model.kg_per_gb_tlc * CellDensity::Tlc.bits_per_cell() as f64 / avg_bits;
+    (personal_gb * tlc * 1e-9, personal_gb * sos * 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_year_matches_paper_122mt_28m_people() {
+        // §1: "~765 Exabytes ... ~122M metric tonnes of CO2, equivalent
+        // to the average annual CO2 emissions of 28M people".
+        let projection = project(&ProjectionConfig::paper_baseline(), 2021);
+        let base = &projection[0];
+        assert!(
+            (base.emissions_mt - 122.4).abs() < 1.0,
+            "2021 emissions {} Mt",
+            base.emissions_mt
+        );
+        assert!(
+            (base.people_equivalents_m - 28.0).abs() < 1.5,
+            "2021 people-equivalents {}M",
+            base.people_equivalents_m
+        );
+    }
+
+    #[test]
+    fn by_2030_exceeds_150m_people() {
+        // §1: "By 2030, this figure will have reached the equivalent of
+        // over 150M people".
+        let projection = project(&ProjectionConfig::paper_baseline(), 2030);
+        let last = projection.last().unwrap();
+        assert!(
+            last.people_equivalents_m > 150.0,
+            "2030 people-equivalents {}M",
+            last.people_equivalents_m
+        );
+    }
+
+    #[test]
+    fn density_scenario_flattens_emissions() {
+        // §3: "improvements in flash density alone may be roughly
+        // equivalent to the increase in demand" — if all density gains
+        // reached carbon intensity, emissions would stay roughly flat.
+        let projection = project(&ProjectionConfig::density_keeps_up(), 2030);
+        let first = projection.first().unwrap().emissions_mt;
+        let last = projection.last().unwrap().emissions_mt;
+        assert!(
+            (last / first) < 1.6,
+            "density-keeps-up emissions ratio {}",
+            last / first
+        );
+    }
+
+    #[test]
+    fn sos_saves_a_third_of_personal_production_carbon() {
+        let model = EmbodiedModel::default();
+        let (baseline, sos) = sos_fleet_saving(&model, PRODUCTION_2021_EB, 0.46, 0.5);
+        let saving = 1.0 - sos / baseline;
+        assert!((saving - 1.0 / 3.0).abs() < 1e-9, "saving {saving}");
+        // Absolute: ~19 Mt/year at 2021 volumes.
+        assert!(
+            (baseline - sos) > 15.0,
+            "absolute saving {} Mt",
+            baseline - sos
+        );
+    }
+
+    #[test]
+    fn projection_is_monotonic_in_demand() {
+        let projection = project(&ProjectionConfig::paper_baseline(), 2030);
+        for pair in projection.windows(2) {
+            assert!(pair[1].production_eb > pair[0].production_eb);
+            assert!(pair[1].emissions_mt > pair[0].emissions_mt);
+        }
+    }
+}

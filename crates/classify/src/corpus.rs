@@ -1,0 +1,164 @@
+//! Labelled-corpus generation for classifier training and evaluation.
+//!
+//! §4.4: "For training, the classifier will use data collected from a
+//! large pool of previously scanned users files." Real user corpora are
+//! private; we generate them by running the workload model for several
+//! simulated users and labelling each file with its ground-truth SPARE
+//! decision.
+
+use crate::features::FeatureExtractor;
+use sos_workload::{DeviceLife, UsageProfile, WorkloadConfig};
+
+/// A labelled dataset: feature rows plus SPARE labels.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// Feature matrix.
+    pub features: Vec<Vec<f64>>,
+    /// Ground-truth labels (`true` = SPARE).
+    pub labels: Vec<bool>,
+}
+
+impl Corpus {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Fraction of positive (SPARE) samples.
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&l| l).count() as f64 / self.labels.len() as f64
+    }
+
+    /// Deterministically splits into `(train, test)` by taking every
+    /// `k`-th sample into the test set.
+    pub fn split(&self, k: usize) -> (Corpus, Corpus) {
+        assert!(k >= 2, "split ratio k must be >= 2");
+        let mut train = Corpus::default();
+        let mut test = Corpus::default();
+        for (i, (row, &label)) in self.features.iter().zip(&self.labels).enumerate() {
+            let target = if i % k == 0 { &mut test } else { &mut train };
+            target.features.push(row.clone());
+            target.labels.push(label);
+        }
+        (train, test)
+    }
+
+    /// Merges another corpus into this one.
+    pub fn extend(&mut self, other: Corpus) {
+        self.features.extend(other.features);
+        self.labels.extend(other.labels);
+    }
+}
+
+/// Generates a corpus by simulating one user's device for `days` and
+/// snapshotting the resulting file population.
+pub fn user_corpus(
+    extractor: &FeatureExtractor,
+    capacity_bytes: u64,
+    profile: UsageProfile,
+    days: u32,
+    seed: u64,
+) -> Corpus {
+    let config = WorkloadConfig::phone(capacity_bytes, profile, seed);
+    let mut life = DeviceLife::new(config);
+    for _ in 0..days {
+        life.next_day();
+    }
+    let now = life.day() as f64;
+    let mut corpus = Corpus::default();
+    for meta in life.files() {
+        corpus.features.push(extractor.extract(meta, now));
+        corpus.labels.push(meta.ground_truth_spare());
+    }
+    corpus
+}
+
+/// Generates a multi-user training pool (§4.4's "large pool of
+/// previously scanned users files"): several simulated users with
+/// varying profiles.
+pub fn multi_user_corpus(extractor: &FeatureExtractor, users: usize, seed: u64) -> Corpus {
+    let profiles = [
+        UsageProfile::Light,
+        UsageProfile::Typical,
+        UsageProfile::Typical,
+        UsageProfile::Heavy,
+    ];
+    let mut corpus = Corpus::default();
+    for user in 0..users {
+        let profile = profiles[user % profiles.len()];
+        corpus.extend(user_corpus(
+            extractor,
+            256 << 20,
+            profile,
+            60,
+            seed.wrapping_add(user as u64 * 7919),
+        ));
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURE_COUNT;
+
+    #[test]
+    fn corpus_has_consistent_shape() {
+        let corpus = user_corpus(
+            &FeatureExtractor::default(),
+            64 << 20,
+            UsageProfile::Typical,
+            30,
+            1,
+        );
+        assert!(corpus.len() > 50, "only {} samples", corpus.len());
+        assert!(corpus.features.iter().all(|r| r.len() == FEATURE_COUNT));
+        assert_eq!(corpus.features.len(), corpus.labels.len());
+    }
+
+    #[test]
+    fn both_classes_are_present_in_realistic_mix() {
+        let corpus = user_corpus(
+            &FeatureExtractor::default(),
+            64 << 20,
+            UsageProfile::Typical,
+            30,
+            2,
+        );
+        let rate = corpus.positive_rate();
+        assert!(
+            (0.15..0.9).contains(&rate),
+            "positive rate {rate} implausible"
+        );
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let corpus = user_corpus(
+            &FeatureExtractor::default(),
+            64 << 20,
+            UsageProfile::Typical,
+            20,
+            3,
+        );
+        let (train, test) = corpus.split(5);
+        assert_eq!(train.len() + test.len(), corpus.len());
+        assert!(test.len() >= corpus.len() / 6);
+    }
+
+    #[test]
+    fn multi_user_pool_is_larger_than_single() {
+        let extractor = FeatureExtractor::default();
+        let single = user_corpus(&extractor, 256 << 20, UsageProfile::Typical, 60, 9);
+        let pool = multi_user_corpus(&extractor, 3, 9);
+        assert!(pool.len() > single.len());
+    }
+}

@@ -1,0 +1,171 @@
+//! Classifier evaluation: confusion matrices and derived metrics.
+
+use crate::model::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion matrix ("positive" = SPARE).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// SPARE predicted SPARE.
+    pub true_positive: u64,
+    /// SYS predicted SPARE — *the dangerous cell*: critical data placed
+    /// on degradable storage.
+    pub false_positive: u64,
+    /// SYS predicted SYS.
+    pub true_negative: u64,
+    /// SPARE predicted SYS (harmless: just wastes durable capacity).
+    pub false_negative: u64,
+}
+
+impl Confusion {
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.true_positive + self.false_positive + self.true_negative + self.false_negative
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positive + self.true_negative) as f64 / self.total() as f64
+    }
+
+    /// Precision of the SPARE class (1 - risk of degrading valued data).
+    pub fn precision(&self) -> f64 {
+        let denominator = self.true_positive + self.false_positive;
+        if denominator == 0 {
+            return 1.0;
+        }
+        self.true_positive as f64 / denominator as f64
+    }
+
+    /// Recall of the SPARE class (capacity benefit actually captured).
+    pub fn recall(&self) -> f64 {
+        let denominator = self.true_positive + self.false_negative;
+        if denominator == 0 {
+            return 1.0;
+        }
+        self.true_positive as f64 / denominator as f64
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Fraction of truly-critical data that ended up on SPARE (the
+    /// misclassification exposure of experiment E8).
+    pub fn critical_exposure(&self) -> f64 {
+        let critical = self.false_positive + self.true_negative;
+        if critical == 0 {
+            return 0.0;
+        }
+        self.false_positive as f64 / critical as f64
+    }
+}
+
+/// Evaluates a trained classifier at a decision `threshold`.
+pub fn evaluate_at<C: Classifier + ?Sized>(
+    model: &C,
+    features: &[Vec<f64>],
+    labels: &[bool],
+    threshold: f64,
+) -> Confusion {
+    let mut confusion = Confusion::default();
+    for (row, &label) in features.iter().zip(labels) {
+        let predicted = model.predict_proba(row) >= threshold;
+        match (label, predicted) {
+            (true, true) => confusion.true_positive += 1,
+            (false, true) => confusion.false_positive += 1,
+            (false, false) => confusion.true_negative += 1,
+            (true, false) => confusion.false_negative += 1,
+        }
+    }
+    confusion
+}
+
+/// Evaluates at the default 0.5 threshold.
+pub fn evaluate<C: Classifier + ?Sized>(
+    model: &C,
+    features: &[Vec<f64>],
+    labels: &[bool],
+) -> Confusion {
+    evaluate_at(model, features, labels, 0.5)
+}
+
+/// Sweeps thresholds, returning `(threshold, confusion)` pairs — the
+/// precision/recall tradeoff curve SOS tunes to "err on the side of
+/// caution" (§4.3).
+pub fn threshold_sweep<C: Classifier + ?Sized>(
+    model: &C,
+    features: &[Vec<f64>],
+    labels: &[bool],
+    thresholds: &[f64],
+) -> Vec<(f64, Confusion)> {
+    thresholds
+        .iter()
+        .map(|&t| (t, evaluate_at(model, features, labels, t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+    impl Classifier for Fixed {
+        fn train(&mut self, _: &[Vec<f64>], _: &[bool]) {}
+        fn predict_proba(&self, features: &[f64]) -> f64 {
+            features[0] * self.0
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn confusion_metrics() {
+        let c = Confusion {
+            true_positive: 40,
+            false_positive: 10,
+            true_negative: 40,
+            false_negative: 10,
+        };
+        assert!((c.accuracy() - 0.8).abs() < 1e-12);
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 0.8).abs() < 1e-12);
+        assert!((c.f1() - 0.8).abs() < 1e-12);
+        assert!((c.critical_exposure() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raising_threshold_trades_recall_for_precision() {
+        // Probabilities 0.0..1.0, positives concentrated high.
+        let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let labels: Vec<bool> = (0..100).map(|i| i >= 40).collect();
+        let model = Fixed(1.0);
+        let sweep = threshold_sweep(&model, &features, &labels, &[0.2, 0.5, 0.8]);
+        let recalls: Vec<f64> = sweep.iter().map(|(_, c)| c.recall()).collect();
+        let exposures: Vec<f64> = sweep.iter().map(|(_, c)| c.critical_exposure()).collect();
+        assert!(recalls[0] > recalls[2], "recall falls with threshold");
+        assert!(
+            exposures[0] > exposures[2],
+            "exposure falls with threshold: {exposures:?}"
+        );
+    }
+
+    #[test]
+    fn empty_eval_is_zero() {
+        let model = Fixed(1.0);
+        let c = evaluate(&model, &[], &[]);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+}

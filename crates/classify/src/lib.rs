@@ -1,0 +1,37 @@
+//! # sos-classify — machine-driven data classification
+//!
+//! The §4.4 substrate of *"Degrading Data to Save the Planet"*
+//! (HotOS '23): a background daemon that labels files SYS (critical) or
+//! SPARE (low-priority, error-tolerant) so the device can place them on
+//! durable pseudo-QLC or degradable PLC storage respectively.
+//!
+//! * [`features`] — name/location/behaviour/content features; the
+//!   content signal is a noise-calibrated observation of ground truth
+//!   (real per-user photo semantics are private data),
+//! * [`nb`] / [`logreg`] / [`tree`] — from-scratch Gaussian naive Bayes,
+//!   logistic regression and CART classifiers behind one
+//!   [`Classifier`] trait,
+//! * [`corpus`] — multi-user labelled-corpus generation via
+//!   `sos-workload`,
+//! * [`eval`] — confusion/precision/recall and the threshold sweep that
+//!   quantifies misclassification exposure,
+//! * [`daemon`] — the periodic review daemon with err-on-caution
+//!   demotion gates and the §4.5 auto-delete recommender.
+
+pub mod corpus;
+pub mod daemon;
+pub mod eval;
+pub mod features;
+pub mod logreg;
+pub mod model;
+pub mod nb;
+pub mod tree;
+
+pub use corpus::{multi_user_corpus, user_corpus, Corpus};
+pub use daemon::{Daemon, DaemonConfig, Decision, Placement};
+pub use eval::{evaluate, evaluate_at, threshold_sweep, Confusion};
+pub use features::{FeatureExtractor, FEATURE_COUNT};
+pub use logreg::LogisticRegression;
+pub use model::{Classifier, Standardiser};
+pub use nb::NaiveBayes;
+pub use tree::DecisionTree;

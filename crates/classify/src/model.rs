@@ -1,0 +1,126 @@
+//! The classifier interface and shared training utilities.
+
+/// A binary classifier over fixed-length feature vectors.
+///
+/// `true` means "SPARE": low-priority, error-tolerant, safe to place on
+/// degradable storage (§4.2's second set).
+pub trait Classifier {
+    /// Fits the model to a labelled training set.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on empty or ragged input (caller bugs).
+    fn train(&mut self, features: &[Vec<f64>], labels: &[bool]);
+
+    /// Probability that the sample belongs to the SPARE class.
+    fn predict_proba(&self, features: &[f64]) -> f64;
+
+    /// Hard decision at the 0.5 threshold.
+    fn predict(&self, features: &[f64]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Per-feature standardisation (zero mean, unit variance) fitted on
+/// training data and applied at inference.
+#[derive(Debug, Clone, Default)]
+pub struct Standardiser {
+    /// Per-feature means.
+    pub mean: Vec<f64>,
+    /// Per-feature standard deviations (>= epsilon).
+    pub std: Vec<f64>,
+}
+
+impl Standardiser {
+    /// Fits the standardiser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is empty.
+    pub fn fit(features: &[Vec<f64>]) -> Self {
+        assert!(!features.is_empty(), "cannot standardise an empty set");
+        let dims = features[0].len();
+        let n = features.len() as f64;
+        let mut mean = vec![0.0; dims];
+        for row in features {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dims];
+        for row in features {
+            for ((v, &x), &m) in var.iter_mut().zip(row).zip(&mean) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std = var.into_iter().map(|v| (v / n).sqrt().max(1e-9)).collect();
+        Standardiser { mean, std }
+    }
+
+    /// Applies the transform to one row.
+    pub fn apply(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect()
+    }
+}
+
+/// Validates a training set shape.
+///
+/// # Panics
+///
+/// Panics on empty or inconsistent input.
+pub fn check_training_set(features: &[Vec<f64>], labels: &[bool]) {
+    assert!(!features.is_empty(), "empty training set");
+    assert_eq!(
+        features.len(),
+        labels.len(),
+        "features/labels length mismatch"
+    );
+    let dims = features[0].len();
+    assert!(
+        features.iter().all(|r| r.len() == dims),
+        "ragged feature matrix"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardiser_zero_mean_unit_var() {
+        let data = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let s = Standardiser::fit(&data);
+        let transformed: Vec<Vec<f64>> = data.iter().map(|r| s.apply(r)).collect();
+        for dim in 0..2 {
+            let mean: f64 =
+                transformed.iter().map(|r| r[dim]).sum::<f64>() / transformed.len() as f64;
+            let var: f64 =
+                transformed.iter().map(|r| r[dim] * r[dim]).sum::<f64>() / transformed.len() as f64;
+            assert!(mean.abs() < 1e-9, "dim {dim} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-9, "dim {dim} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_feature_does_not_divide_by_zero() {
+        let data = vec![vec![7.0], vec![7.0]];
+        let s = Standardiser::fit(&data);
+        let row = s.apply(&[7.0]);
+        assert!(row[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_labels_panic() {
+        check_training_set(&[vec![1.0]], &[true, false]);
+    }
+}

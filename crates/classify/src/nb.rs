@@ -1,0 +1,161 @@
+//! Gaussian naive Bayes.
+
+use crate::model::{check_training_set, Classifier};
+
+/// Per-class Gaussian feature model.
+#[derive(Debug, Clone, Default)]
+struct ClassStats {
+    prior: f64,
+    mean: Vec<f64>,
+    var: Vec<f64>,
+}
+
+/// Gaussian naive Bayes classifier.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveBayes {
+    positive: ClassStats,
+    negative: ClassStats,
+    trained: bool,
+}
+
+fn fit_class(rows: &[&Vec<f64>], prior: f64) -> ClassStats {
+    let dims = rows.first().map_or(0, |r| r.len());
+    let n = rows.len().max(1) as f64;
+    let mut mean = vec![0.0; dims];
+    for row in rows {
+        for (m, &v) in mean.iter_mut().zip(row.iter()) {
+            *m += v;
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= n;
+    }
+    let mut var = vec![0.0; dims];
+    for row in rows {
+        for ((v, &x), &m) in var.iter_mut().zip(row.iter()).zip(&mean) {
+            *v += (x - m) * (x - m);
+        }
+    }
+    for v in var.iter_mut() {
+        // Variance smoothing keeps degenerate features finite.
+        *v = (*v / n).max(1e-6);
+    }
+    ClassStats { prior, mean, var }
+}
+
+fn log_likelihood(stats: &ClassStats, row: &[f64]) -> f64 {
+    let mut ll = stats.prior.max(1e-12).ln();
+    for ((&x, &m), &v) in row.iter().zip(&stats.mean).zip(&stats.var) {
+        ll += -0.5 * ((x - m) * (x - m) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+    }
+    ll
+}
+
+impl Classifier for NaiveBayes {
+    fn train(&mut self, features: &[Vec<f64>], labels: &[bool]) {
+        check_training_set(features, labels);
+        let positives: Vec<&Vec<f64>> = features
+            .iter()
+            .zip(labels)
+            .filter_map(|(row, &label)| label.then_some(row))
+            .collect();
+        let negatives: Vec<&Vec<f64>> = features
+            .iter()
+            .zip(labels)
+            .filter_map(|(row, &label)| (!label).then_some(row))
+            .collect();
+        assert!(
+            !positives.is_empty() && !negatives.is_empty(),
+            "naive Bayes needs both classes in training data"
+        );
+        let n = features.len() as f64;
+        self.positive = fit_class(&positives, positives.len() as f64 / n);
+        self.negative = fit_class(&negatives, negatives.len() as f64 / n);
+        self.trained = true;
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        assert!(self.trained, "model not trained");
+        let lp = log_likelihood(&self.positive, features);
+        let ln = log_likelihood(&self.negative, features);
+        // Softmax over the two log-joint values.
+        let max = lp.max(ln);
+        let ep = (lp - max).exp();
+        let en = (ln - max).exp();
+        ep / (ep + en)
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn two_blobs(n: usize, separation: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let label = i % 2 == 0;
+            let center = if label { separation } else { -separation };
+            let normal = |rng: &mut StdRng| {
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            x.push(vec![center + normal(&mut rng), center + normal(&mut rng)]);
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separates_clear_blobs() {
+        let (x, y) = two_blobs(300, 2.0, 3);
+        let mut model = NaiveBayes::default();
+        model.train(&x, &y);
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(row, &label)| model.predict(row) == label)
+            .count();
+        assert!(correct >= 290, "accuracy {correct}/300");
+    }
+
+    #[test]
+    fn proba_reflects_distance_from_boundary() {
+        let (x, y) = two_blobs(300, 2.0, 4);
+        let mut model = NaiveBayes::default();
+        model.train(&x, &y);
+        assert!(model.predict_proba(&[3.0, 3.0]) > 0.99);
+        assert!(model.predict_proba(&[-3.0, -3.0]) < 0.01);
+        let mid = model.predict_proba(&[0.0, 0.0]);
+        assert!((0.2..0.8).contains(&mid), "midpoint proba {mid}");
+    }
+
+    #[test]
+    fn overlapping_blobs_give_uncertain_predictions() {
+        let (x, y) = two_blobs(400, 0.3, 5);
+        let mut model = NaiveBayes::default();
+        model.train(&x, &y);
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(row, &label)| model.predict(row) == label)
+            .count();
+        // Heavy overlap: accuracy well below perfect but above chance.
+        assert!((220..380).contains(&correct), "accuracy {correct}/400");
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_training_panics() {
+        let mut model = NaiveBayes::default();
+        model.train(&[vec![1.0], vec![2.0]], &[true, true]);
+    }
+}

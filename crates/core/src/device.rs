@@ -1,0 +1,507 @@
+//! The SOS device: a split PLC / pseudo-QLC personal storage device.
+//!
+//! Implements Figure 2 of the paper: one physical PLC die whose blocks
+//! are split into a durable SYS partition (pseudo-QLC + per-page BCH +
+//! stripe parity) and a degradable SPARE partition (native PLC,
+//! priority-split approximate ECC, no preemptive wear leveling,
+//! resuscitation ladder).
+
+use crate::object::{
+    DeviceCounters, ObjectData, ObjectError, ObjectId, ObjectStatus, ObjectStore, Partition,
+};
+use crate::partition::PartitionStore;
+use crate::stripe::StripeManager;
+use serde::{Deserialize, Serialize};
+use sos_flash::{CellDensity, DeviceConfig, Geometry};
+use sos_ftl::{Ftl, FtlConfig, FtlError};
+use std::collections::HashMap;
+
+/// SOS device configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SosConfig {
+    /// Base PLC device the two partitions are carved from.
+    pub base: DeviceConfig,
+    /// Fraction of physical blocks given to the SYS partition (the
+    /// paper's split is 50/50 by silicon).
+    pub sys_cell_fraction: f64,
+    /// SYS stripe width (data pages per parity page).
+    pub stripe_width: u64,
+    /// SYS-partition FTL policy.
+    pub sys_ftl: FtlConfig,
+    /// SPARE-partition FTL policy.
+    pub spare_ftl: FtlConfig,
+}
+
+impl SosConfig {
+    /// The paper's default on a small simulated device.
+    pub fn small(seed: u64) -> Self {
+        SosConfig {
+            base: DeviceConfig::sim_small(CellDensity::Plc).with_seed(seed),
+            sys_cell_fraction: 0.5,
+            stripe_width: 8,
+            sys_ftl: FtlConfig::sos_sys(),
+            spare_ftl: FtlConfig::sos_spare(),
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        SosConfig {
+            base: DeviceConfig::tiny(CellDensity::Plc).with_seed(seed),
+            ..SosConfig::small(seed)
+        }
+    }
+}
+
+/// Splits a geometry's blocks between two sub-devices by plane rows.
+fn split_geometry(base: &Geometry, fraction: f64) -> (Geometry, Geometry) {
+    let first_blocks = ((base.blocks_per_plane as f64 * fraction).round() as u32)
+        .clamp(1, base.blocks_per_plane - 1);
+    let mut first = *base;
+    first.blocks_per_plane = first_blocks;
+    let mut second = *base;
+    second.blocks_per_plane = base.blocks_per_plane - first_blocks;
+    (first, second)
+}
+
+/// Location record for one stored object.
+#[derive(Debug, Clone)]
+struct ObjectInfo {
+    partition: Partition,
+    lpns: Vec<u64>,
+    len: usize,
+    damaged: bool,
+}
+
+/// The SOS device.
+pub struct SosDevice {
+    sys: PartitionStore,
+    spare: PartitionStore,
+    stripes: StripeManager,
+    objects: HashMap<ObjectId, ObjectInfo>,
+    counters: DeviceCounters,
+    /// Space-pressure flag raised by maintenance.
+    pressure: bool,
+}
+
+impl SosDevice {
+    /// Builds the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics on configuration errors (fractions out of range, ECC not
+    /// fitting the spare area).
+    pub fn new(config: &SosConfig) -> Self {
+        assert!(
+            (0.05..=0.95).contains(&config.sys_cell_fraction),
+            "sys fraction out of range"
+        );
+        let (sys_geometry, spare_geometry) =
+            split_geometry(&config.base.geometry, config.sys_cell_fraction);
+        let mut sys_device = config.base.clone();
+        sys_device.geometry = sys_geometry;
+        let mut spare_device = config.base.clone();
+        spare_device.geometry = spare_geometry;
+        spare_device.seed = config.base.seed.wrapping_add(1);
+        let sys_ftl = Ftl::new(&sys_device, config.sys_ftl.clone());
+        let spare_ftl = Ftl::new(&spare_device, config.spare_ftl.clone());
+        // Reserve the top of the SYS logical space for stripe parity.
+        let (data_pages, _parity) =
+            StripeManager::layout(sys_ftl.logical_pages(), config.stripe_width);
+        let stripes = StripeManager::new(config.stripe_width, data_pages);
+        let mut sys = PartitionStore::new(sys_ftl, 0);
+        sys.pool.shrink_budget(data_pages);
+        // Re-derive the pool so only data LPNs are handed out.
+        sys.pool = crate::partition::LpnPool::new(data_pages);
+        let spare = PartitionStore::new(spare_ftl, 0);
+        SosDevice {
+            sys,
+            spare,
+            stripes,
+            objects: HashMap::new(),
+            counters: DeviceCounters::default(),
+            pressure: false,
+        }
+    }
+
+    fn store(&mut self, partition: Partition) -> &mut PartitionStore {
+        match partition {
+            Partition::Sys => &mut self.sys,
+            Partition::Spare => &mut self.spare,
+        }
+    }
+
+    /// Read-only access to a partition (experiment harnesses).
+    pub fn partition(&self, partition: Partition) -> &PartitionStore {
+        match partition {
+            Partition::Sys => &self.sys,
+            Partition::Spare => &self.spare,
+        }
+    }
+
+    /// Live bytes per partition `(sys, spare)`.
+    pub fn partition_bytes(&self) -> (u64, u64) {
+        let mut sys = 0;
+        let mut spare = 0;
+        for info in self.objects.values() {
+            match info.partition {
+                Partition::Sys => sys += info.len as u64,
+                Partition::Spare => spare += info.len as u64,
+            }
+        }
+        (sys, spare)
+    }
+
+    fn write_to(
+        &mut self,
+        partition: Partition,
+        bytes: &[u8],
+    ) -> Result<Option<Vec<u64>>, FtlError> {
+        let lpns = match self.store(partition).write_object(bytes)? {
+            Some(lpns) => lpns,
+            None => return Ok(None),
+        };
+        if partition == Partition::Sys {
+            // Maintain stripe parity for every page just written.
+            let page_bytes = self.sys.page_bytes();
+            for (index, &lpn) in lpns.iter().enumerate() {
+                let start = index * page_bytes;
+                let mut page = vec![0u8; page_bytes];
+                if start < bytes.len() {
+                    let end = (start + page_bytes).min(bytes.len());
+                    page[..end - start].copy_from_slice(&bytes[start..end]);
+                }
+                self.stripes.on_write(&mut self.sys.ftl, lpn, &page)?;
+            }
+        }
+        Ok(Some(lpns))
+    }
+
+    fn free_from(&mut self, partition: Partition, lpns: &[u64]) -> Result<(), FtlError> {
+        self.store(partition).free_object(lpns)?;
+        if partition == Partition::Sys {
+            for &lpn in lpns {
+                self.stripes.on_trim(&mut self.sys.ftl, lpn)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn storage_error(e: FtlError) -> ObjectError {
+        ObjectError::Storage(e.to_string())
+    }
+
+    /// Attempts stripe reconstruction of lost SYS pages, patching
+    /// `bytes` in place. Returns how many pages were repaired.
+    fn repair_sys_pages(
+        &mut self,
+        lpns: &[u64],
+        lost: &[u64],
+        bytes: &mut [u8],
+    ) -> Result<usize, FtlError> {
+        let page_bytes = self.sys.page_bytes();
+        let mut repaired = 0;
+        for &lost_lpn in lost {
+            let Some(position) = lpns.iter().position(|&l| l == lost_lpn) else {
+                continue;
+            };
+            if let Some(rebuilt) = self.stripes.reconstruct(&mut self.sys.ftl, lost_lpn) {
+                let start = position * page_bytes;
+                if start < bytes.len() {
+                    let end = (start + page_bytes).min(bytes.len());
+                    bytes[start..end].copy_from_slice(&rebuilt[..end - start]);
+                }
+                // Write the repaired page back so the mapping is live
+                // again.
+                self.sys.ftl.write_stream(lost_lpn, &rebuilt, 0)?;
+                self.stripes
+                    .on_write(&mut self.sys.ftl, lost_lpn, &rebuilt)?;
+                repaired += 1;
+            }
+        }
+        Ok(repaired)
+    }
+}
+
+impl ObjectStore for SosDevice {
+    fn put(&mut self, id: ObjectId, bytes: &[u8], partition: Partition) -> Result<(), ObjectError> {
+        if self.objects.contains_key(&id) {
+            return Err(ObjectError::Exists(id));
+        }
+        let lpns = self
+            .write_to(partition, bytes)
+            .map_err(Self::storage_error)?
+            .ok_or(ObjectError::NoSpace)?;
+        self.objects.insert(
+            id,
+            ObjectInfo {
+                partition,
+                lpns,
+                len: bytes.len(),
+                damaged: false,
+            },
+        );
+        self.counters.objects += 1;
+        self.counters.live_bytes += bytes.len() as u64;
+        self.counters.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn get(&mut self, id: ObjectId) -> Result<ObjectData, ObjectError> {
+        let info = self
+            .objects
+            .get(&id)
+            .ok_or(ObjectError::NotFound(id))?
+            .clone();
+        let read = self
+            .store(info.partition)
+            .read_object(&info.lpns, info.len)
+            .map_err(Self::storage_error)?;
+        let mut bytes = read.bytes;
+        let mut status = read.status;
+        if info.partition == Partition::Sys && !read.lost_pages.is_empty() {
+            let repaired = self
+                .repair_sys_pages(&info.lpns, &read.lost_pages, &mut bytes)
+                .map_err(Self::storage_error)?;
+            if repaired == read.lost_pages.len() {
+                status = ObjectStatus::Intact;
+            }
+        }
+        if status == ObjectStatus::PartiallyLost && !info.damaged {
+            self.objects.get_mut(&id).expect("present").damaged = true;
+            self.counters.objects_damaged += 1;
+        }
+        self.counters.bytes_read += bytes.len() as u64;
+        self.counters.busy_us += read.latency_us;
+        Ok(ObjectData {
+            bytes,
+            status,
+            latency_us: read.latency_us,
+        })
+    }
+
+    fn update(&mut self, id: ObjectId, bytes: &[u8]) -> Result<(), ObjectError> {
+        let info = self
+            .objects
+            .get(&id)
+            .ok_or(ObjectError::NotFound(id))?
+            .clone();
+        let new_lpns = self
+            .write_to(info.partition, bytes)
+            .map_err(Self::storage_error)?
+            .ok_or(ObjectError::NoSpace)?;
+        self.free_from(info.partition, &info.lpns)
+            .map_err(Self::storage_error)?;
+        let entry = self.objects.get_mut(&id).expect("present");
+        entry.lpns = new_lpns;
+        self.counters.live_bytes = self.counters.live_bytes + bytes.len() as u64 - entry.len as u64;
+        entry.len = bytes.len();
+        self.counters.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn delete(&mut self, id: ObjectId) -> Result<(), ObjectError> {
+        let info = self.objects.remove(&id).ok_or(ObjectError::NotFound(id))?;
+        self.free_from(info.partition, &info.lpns)
+            .map_err(Self::storage_error)?;
+        self.counters.objects -= 1;
+        self.counters.live_bytes -= info.len as u64;
+        Ok(())
+    }
+
+    fn migrate(&mut self, id: ObjectId, partition: Partition) -> Result<(), ObjectError> {
+        let info = self
+            .objects
+            .get(&id)
+            .ok_or(ObjectError::NotFound(id))?
+            .clone();
+        if info.partition == partition {
+            return Ok(());
+        }
+        // Best-effort read (degradation carries over — §4.2), then move.
+        let data = self.get(id)?;
+        let new_lpns = self
+            .write_to(partition, &data.bytes)
+            .map_err(Self::storage_error)?
+            .ok_or(ObjectError::NoSpace)?;
+        self.free_from(info.partition, &info.lpns)
+            .map_err(Self::storage_error)?;
+        let entry = self.objects.get_mut(&id).expect("present");
+        entry.partition = partition;
+        entry.lpns = new_lpns;
+        Ok(())
+    }
+
+    fn placement(&self, id: ObjectId) -> Option<Partition> {
+        self.objects.get(&id).map(|info| info.partition)
+    }
+
+    fn advance_days(&mut self, days: f64) {
+        self.sys.ftl.advance_days(days);
+        self.spare.ftl.advance_days(days);
+    }
+
+    fn maintain(&mut self) -> Result<bool, ObjectError> {
+        let sys_report = self.sys.ftl.scrub().map_err(Self::storage_error)?;
+        let spare_report = self.spare.ftl.scrub().map_err(Self::storage_error)?;
+        let sys_lost = self.sys.process_events();
+        let spare_lost = self.spare.process_events();
+        // Mark objects whose pages the FTL reported lost.
+        for (partition, lost) in [(Partition::Sys, sys_lost), (Partition::Spare, spare_lost)] {
+            if lost.is_empty() {
+                continue;
+            }
+            let lost: std::collections::HashSet<u64> = lost.into_iter().collect();
+            for info in self.objects.values_mut() {
+                if info.partition == partition
+                    && !info.damaged
+                    && info.lpns.iter().any(|l| lost.contains(l))
+                {
+                    info.damaged = true;
+                    self.counters.objects_damaged += 1;
+                }
+            }
+        }
+        self.pressure = sys_report.aborted_no_space
+            || spare_report.aborted_no_space
+            || self.spare.under_pressure(0.03)
+            || self.sys.under_pressure(0.03);
+        Ok(self.pressure)
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.sys.capacity_bytes() + self.spare.capacity_bytes()
+    }
+
+    fn counters(&self) -> DeviceCounters {
+        let mut counters = self.counters;
+        counters.busy_us +=
+            self.sys.ftl.device().stats().busy_us + self.spare.ftl.device().stats().busy_us;
+        counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> SosDevice {
+        SosDevice::new(&SosConfig::tiny(7))
+    }
+
+    /// SPARE is approximate storage on native PLC: a handful of byte
+    /// errors per object is *expected*, so equality there is "mostly
+    /// equal".
+    fn mostly_equal(a: &[u8], b: &[u8], tolerance: usize) {
+        assert_eq!(a.len(), b.len(), "length must match");
+        let diffs = a.iter().zip(b).filter(|(x, y)| x != y).count();
+        assert!(
+            diffs <= tolerance,
+            "{diffs} byte diffs exceed tolerance {tolerance}"
+        );
+    }
+
+    #[test]
+    fn put_get_roundtrip_on_both_partitions() {
+        let mut device = device();
+        let a: Vec<u8> = (0..3000).map(|i| (i % 251) as u8).collect();
+        let b: Vec<u8> = (0..3000).map(|i| (i % 241) as u8).collect();
+        device.put(1, &a, Partition::Sys).unwrap();
+        device.put(2, &b, Partition::Spare).unwrap();
+        assert_eq!(device.get(1).unwrap().bytes, a, "SYS must be exact");
+        mostly_equal(&device.get(2).unwrap().bytes, &b, 8);
+        assert_eq!(device.placement(1), Some(Partition::Sys));
+        assert_eq!(device.placement(2), Some(Partition::Spare));
+    }
+
+    #[test]
+    fn duplicate_put_is_rejected() {
+        let mut device = device();
+        device.put(1, &[1, 2, 3], Partition::Sys).unwrap();
+        assert_eq!(
+            device.put(1, &[4, 5], Partition::Sys).unwrap_err(),
+            ObjectError::Exists(1)
+        );
+    }
+
+    #[test]
+    fn update_replaces_content() {
+        let mut device = device();
+        device.put(1, &[1u8; 100], Partition::Spare).unwrap();
+        device.update(1, &[2u8; 5000]).unwrap();
+        let got = device.get(1).unwrap();
+        mostly_equal(&got.bytes, &vec![2u8; 5000], 8);
+    }
+
+    #[test]
+    fn delete_then_get_fails() {
+        let mut device = device();
+        device.put(1, &[1u8; 10], Partition::Sys).unwrap();
+        device.delete(1).unwrap();
+        assert_eq!(device.get(1).unwrap_err(), ObjectError::NotFound(1));
+        assert_eq!(device.counters().objects, 0);
+    }
+
+    #[test]
+    fn migrate_moves_between_partitions() {
+        let mut device = device();
+        let data: Vec<u8> = (0..4000).map(|i| (i * 7 % 256) as u8).collect();
+        device.put(1, &data, Partition::Sys).unwrap();
+        device.migrate(1, Partition::Spare).unwrap();
+        assert_eq!(device.placement(1), Some(Partition::Spare));
+        mostly_equal(&device.get(1).unwrap().bytes, &data, 8);
+        // Migrating to the same partition is a no-op.
+        device.migrate(1, Partition::Spare).unwrap();
+        mostly_equal(&device.get(1).unwrap().bytes, &data, 8);
+    }
+
+    #[test]
+    fn counters_track_bytes() {
+        let mut device = device();
+        device.put(1, &[0u8; 1000], Partition::Sys).unwrap();
+        device.put(2, &[0u8; 500], Partition::Spare).unwrap();
+        let counters = device.counters();
+        assert_eq!(counters.objects, 2);
+        assert_eq!(counters.live_bytes, 1500);
+        assert_eq!(counters.bytes_written, 1500);
+        let (sys, spare) = device.partition_bytes();
+        assert_eq!((sys, spare), (1000, 500));
+    }
+
+    #[test]
+    fn device_fills_and_reports_no_space() {
+        let mut device = device();
+        let chunk = vec![9u8; 64 * 1024];
+        let mut id = 0;
+        loop {
+            id += 1;
+            match device.put(id, &chunk, Partition::Spare) {
+                Ok(()) => {}
+                Err(ObjectError::NoSpace) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+            assert!(id < 1000, "never filled");
+        }
+    }
+
+    #[test]
+    fn maintenance_runs_clean_on_fresh_device() {
+        let mut device = device();
+        device.put(1, &[1u8; 2000], Partition::Spare).unwrap();
+        device.advance_days(10.0);
+        let pressure = device.maintain().unwrap();
+        assert!(!pressure);
+        mostly_equal(&device.get(1).unwrap().bytes, &vec![1u8; 2000], 8);
+    }
+
+    #[test]
+    fn geometry_split_is_complementary() {
+        let base = DeviceConfig::tiny(CellDensity::Plc).geometry;
+        let (sys, spare) = split_geometry(&base, 0.5);
+        assert_eq!(
+            sys.blocks_per_plane + spare.blocks_per_plane,
+            base.blocks_per_plane
+        );
+        assert_eq!(sys.page_bytes, base.page_bytes);
+    }
+}

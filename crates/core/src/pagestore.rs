@@ -1,0 +1,111 @@
+//! `PageStore` adapter: mount the host filesystem on an FTL.
+//!
+//! Connects `sos-hostfs` (which only knows the [`PageStore`] trait) to a
+//! real simulated FTL, forwarding the per-file placement hints as FTL
+//! streams (§4.3's multi-stream interface).
+
+use sos_ftl::{Ftl, FtlError};
+use sos_hostfs::{PageStore, PlacementHint, StoreError};
+
+/// An FTL exposed as a host-filesystem page store.
+#[derive(Debug)]
+pub struct FtlPageStore {
+    /// The wrapped FTL (public so simulations can scrub/advance time).
+    pub ftl: Ftl,
+}
+
+impl FtlPageStore {
+    /// Wraps an FTL.
+    pub fn new(ftl: Ftl) -> Self {
+        FtlPageStore { ftl }
+    }
+}
+
+fn map_error(e: FtlError) -> StoreError {
+    match e {
+        FtlError::LpnOutOfRange { lpn, .. } => StoreError::OutOfRange(lpn),
+        FtlError::NotWritten(lpn) => StoreError::NotWritten(lpn),
+        FtlError::DataLost(lpn) => StoreError::Lost(lpn),
+        FtlError::WrongDataLength { expected, got } => StoreError::WrongLength { expected, got },
+        FtlError::NoSpace => StoreError::NoSpace,
+        other => StoreError::WrongLength {
+            expected: 0,
+            got: other.to_string().len(),
+        },
+    }
+}
+
+impl PageStore for FtlPageStore {
+    fn page_bytes(&self) -> usize {
+        self.ftl.page_bytes()
+    }
+
+    fn pages(&self) -> u64 {
+        self.ftl.logical_pages()
+    }
+
+    fn write_page(
+        &mut self,
+        page: u64,
+        data: &[u8],
+        hint: PlacementHint,
+    ) -> Result<(), StoreError> {
+        // Stream 255 is reserved inside the FTL.
+        let stream = if hint == 255 { 254 } else { hint };
+        self.ftl
+            .write_stream(page, data, stream)
+            .map(|_| ())
+            .map_err(map_error)
+    }
+
+    fn read_page(&mut self, page: u64) -> Result<Vec<u8>, StoreError> {
+        self.ftl.read(page).map(|r| r.data).map_err(map_error)
+    }
+
+    fn trim_page(&mut self, page: u64) -> Result<(), StoreError> {
+        self.ftl.trim(page).map_err(map_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_flash::{CellDensity, DeviceConfig, ProgramMode};
+    use sos_ftl::FtlConfig;
+    use sos_hostfs::HostFs;
+
+    fn ftl_store() -> FtlPageStore {
+        FtlPageStore::new(Ftl::new(
+            &DeviceConfig::tiny(CellDensity::Tlc),
+            FtlConfig::conventional(ProgramMode::native(CellDensity::Tlc)),
+        ))
+    }
+
+    #[test]
+    fn hostfs_mounts_on_ftl() {
+        let mut fs = HostFs::format(ftl_store());
+        let id = fs.create("/photos/img1.jpg", 2).unwrap();
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 249) as u8).collect();
+        fs.write(id, 0, &data).unwrap();
+        assert_eq!(fs.read(id, 0, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn trim_reaches_the_ftl() {
+        let mut store = ftl_store();
+        let page = vec![1u8; store.page_bytes()];
+        store.write_page(3, &page, 0).unwrap();
+        assert_eq!(store.read_page(3).unwrap(), page);
+        store.trim_page(3).unwrap();
+        assert_eq!(store.read_page(3).unwrap_err(), StoreError::NotWritten(3));
+    }
+
+    #[test]
+    fn reserved_stream_hint_is_remapped() {
+        let mut store = ftl_store();
+        let page = vec![2u8; store.page_bytes()];
+        // Hint 255 must not error out (FTL reserves stream 255).
+        store.write_page(0, &page, 255).unwrap();
+        assert_eq!(store.read_page(0).unwrap(), page);
+    }
+}

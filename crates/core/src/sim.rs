@@ -1,0 +1,335 @@
+//! End-to-end device-life simulation: SOS vs. the baselines.
+//!
+//! Experiment E11's engine: the same multi-year personal workload is run
+//! against a TLC baseline, a QLC baseline and the SOS split device, and
+//! each run reports embodied carbon per exported GB, data loss, media
+//! quality, latency and wear.
+
+use crate::baseline::BaselineDevice;
+use crate::cloud::CloudConfig;
+use crate::controller::{ControllerConfig, ControllerStats, SosController};
+use crate::device::{SosConfig, SosDevice};
+use crate::metrics::LatencySummary;
+use crate::object::{DeviceCounters, ObjectStore};
+use serde::{Deserialize, Serialize};
+use sos_carbon::EmbodiedModel;
+use sos_classify::{multi_user_corpus, Classifier, FeatureExtractor, LogisticRegression};
+use sos_flash::{CellDensity, ProgramMode};
+use sos_workload::{DeviceLife, UsageProfile, WorkloadConfig};
+
+/// Which device design a simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DesignKind {
+    /// Conventional TLC device (today's mainstream).
+    TlcBaseline,
+    /// Conventional QLC device.
+    QlcBaseline,
+    /// The SOS split PLC / pseudo-QLC device.
+    Sos,
+}
+
+impl DesignKind {
+    /// All designs in comparison order.
+    pub const ALL: [DesignKind; 3] = [
+        DesignKind::TlcBaseline,
+        DesignKind::QlcBaseline,
+        DesignKind::Sos,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignKind::TlcBaseline => "TLC baseline",
+            DesignKind::QlcBaseline => "QLC baseline",
+            DesignKind::Sos => "SOS (PLC + pseudo-QLC)",
+        }
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulated days (a phone life is ~900).
+    pub days: u32,
+    /// Usage intensity.
+    pub profile: UsageProfile,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cloud backup coverage/availability (None = no backup).
+    pub cloud_coverage: f64,
+    /// Workload target size in bytes (shared across designs so the
+    /// comparison is apples-to-apples; defaults to the SOS exported
+    /// capacity when zero).
+    pub workload_bytes: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            days: 180,
+            profile: UsageProfile::Typical,
+            seed: 42,
+            cloud_coverage: 0.0,
+            workload_bytes: 0,
+        }
+    }
+}
+
+/// Result of one design's simulated life.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Design label.
+    pub design: String,
+    /// Simulated days.
+    pub days: u32,
+    /// Exported capacity at start, bytes.
+    pub capacity_bytes: u64,
+    /// Embodied carbon per exported GB, kgCO2e.
+    pub kg_per_exported_gb: f64,
+    /// Ratio vs. the TLC baseline's kg/GB (filled by [`compare`]).
+    pub carbon_vs_tlc: f64,
+    /// Controller statistics.
+    pub stats: ControllerStats,
+    /// Device counters.
+    pub counters: DeviceCounters,
+    /// Read latency summary.
+    pub read_latency: Option<LatencySummary>,
+    /// Final median PSNR of sampled media, dB.
+    pub final_median_psnr: Option<f64>,
+    /// Worst observed minimum PSNR, dB.
+    pub worst_min_psnr: Option<f64>,
+    /// Fraction of bytes living on the SPARE partition at the end
+    /// (0 for baselines).
+    pub spare_byte_fraction: f64,
+}
+
+/// Embodied carbon per exported GB for a device built from
+/// `raw_native_bytes` of silicon at `physical` density, exporting
+/// `exported_bytes`.
+pub fn carbon_per_exported_gb(
+    model: &EmbodiedModel,
+    physical: CellDensity,
+    raw_native_bytes: u64,
+    exported_bytes: u64,
+) -> f64 {
+    let native_gb = raw_native_bytes as f64 / 1e9;
+    let total_kg = native_gb * model.kg_per_gb_at_reference(ProgramMode::native(physical));
+    total_kg / (exported_bytes as f64 / 1e9)
+}
+
+fn trained_classifier(seed: u64) -> (LogisticRegression, FeatureExtractor) {
+    let extractor = FeatureExtractor::default();
+    let corpus = multi_user_corpus(&extractor, 2, seed);
+    let mut model = LogisticRegression::default();
+    model.train(&corpus.features, &corpus.labels);
+    (model, extractor)
+}
+
+fn run_with<D: ObjectStore>(
+    device: D,
+    config: &SimConfig,
+    classify: bool,
+) -> (
+    D,
+    ControllerStats,
+    Option<LatencySummary>,
+    Option<f64>,
+    Option<f64>,
+) {
+    let (model, extractor) = trained_classifier(config.seed);
+    let capacity = if config.workload_bytes > 0 {
+        config.workload_bytes
+    } else {
+        device.capacity_bytes()
+    };
+    let life = DeviceLife::new(WorkloadConfig::phone(capacity, config.profile, config.seed));
+    let cloud = if config.cloud_coverage > 0.0 {
+        CloudConfig {
+            coverage: config.cloud_coverage,
+            availability: 0.95,
+            seed: config.seed,
+        }
+    } else {
+        CloudConfig::none()
+    };
+    let controller_config = ControllerConfig {
+        classify,
+        ..ControllerConfig::default()
+    };
+    let mut controller =
+        SosController::new(device, model, extractor, life, cloud, controller_config);
+    controller.run_days(config.days);
+    // Final quality measurement.
+    let psnrs = controller.measure_quality();
+    controller
+        .quality
+        .record(controller.life.day() as f64, psnrs);
+    let latency = controller.read_latency.summary();
+    let final_psnr = controller.quality.final_median();
+    let worst = controller.quality.worst_min();
+    (
+        controller.device,
+        controller.stats,
+        latency,
+        final_psnr,
+        worst,
+    )
+}
+
+/// Runs one design through a simulated device life.
+pub fn run_design(kind: DesignKind, config: &SimConfig) -> SimResult {
+    let model = EmbodiedModel::default();
+    match kind {
+        DesignKind::TlcBaseline | DesignKind::QlcBaseline => {
+            let density = if kind == DesignKind::TlcBaseline {
+                CellDensity::Tlc
+            } else {
+                CellDensity::Qlc
+            };
+            let device = if density == CellDensity::Tlc {
+                BaselineDevice::tlc_small(config.seed)
+            } else {
+                BaselineDevice::qlc_small(config.seed)
+            };
+            let capacity = device.capacity_bytes();
+            let raw = device.partition().ftl.device().geometry().raw_bytes();
+            let (device, stats, latency, final_psnr, worst) = run_with(device, config, false);
+            SimResult {
+                design: kind.name().to_string(),
+                days: config.days,
+                capacity_bytes: capacity,
+                kg_per_exported_gb: carbon_per_exported_gb(&model, density, raw, capacity),
+                carbon_vs_tlc: 1.0,
+                stats,
+                counters: device.counters(),
+                read_latency: latency,
+                final_median_psnr: final_psnr,
+                worst_min_psnr: worst,
+                spare_byte_fraction: 0.0,
+            }
+        }
+        DesignKind::Sos => {
+            let sos_config = SosConfig::small(config.seed);
+            let device = SosDevice::new(&sos_config);
+            let capacity = device.capacity_bytes();
+            let raw = sos_config.base.geometry.raw_bytes();
+            let (device, stats, latency, final_psnr, worst) = run_with(device, config, true);
+            let (sys_bytes, spare_bytes) = device.partition_bytes();
+            let total = (sys_bytes + spare_bytes).max(1);
+            SimResult {
+                design: kind.name().to_string(),
+                days: config.days,
+                capacity_bytes: capacity,
+                kg_per_exported_gb: carbon_per_exported_gb(&model, CellDensity::Plc, raw, capacity),
+                carbon_vs_tlc: 1.0,
+                stats,
+                counters: device.counters(),
+                read_latency: latency,
+                final_median_psnr: final_psnr,
+                worst_min_psnr: worst,
+                spare_byte_fraction: spare_bytes as f64 / total as f64,
+            }
+        }
+    }
+}
+
+/// Runs all designs over the same workload and normalises carbon to the
+/// TLC baseline.
+pub fn compare(config: &SimConfig) -> Vec<SimResult> {
+    let mut config = config.clone();
+    if config.workload_bytes == 0 {
+        // Size the workload to the smallest device (SOS) so every design
+        // sees identical traffic.
+        let sos = SosDevice::new(&SosConfig::small(config.seed));
+        config.workload_bytes = sos.capacity_bytes();
+    }
+    let mut results: Vec<SimResult> = DesignKind::ALL
+        .iter()
+        .map(|&kind| run_design(kind, &config))
+        .collect();
+    let tlc_kg = results[0].kg_per_exported_gb;
+    for result in results.iter_mut() {
+        result.carbon_vs_tlc = result.kg_per_exported_gb / tlc_kg;
+    }
+    results
+}
+
+/// Formats a comparison as an aligned table.
+pub fn format_comparison(results: &[SimResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:>9} {:>9} {:>8} {:>9} {:>9} {:>10} {:>9} {:>8}\n",
+        "design",
+        "cap(MiB)",
+        "kg/GB",
+        "vsTLC",
+        "lostRds",
+        "degrRds",
+        "p99rd(us)",
+        "medPSNR",
+        "spare%"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<26} {:>9.1} {:>9.4} {:>8.3} {:>9} {:>9} {:>10.1} {:>9.1} {:>8.1}\n",
+            r.design,
+            r.capacity_bytes as f64 / (1 << 20) as f64,
+            r.kg_per_exported_gb,
+            r.carbon_vs_tlc,
+            r.stats.lost_reads,
+            r.stats.degraded_reads,
+            r.read_latency.map_or(0.0, |l| l.p99_us),
+            r.final_median_psnr.unwrap_or(f64::NAN),
+            r.spare_byte_fraction * 100.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carbon_per_exported_gb_matches_analytic_split() {
+        // A PLC device exporting 90% of its native bytes (50% native +
+        // 40% pseudo-QLC) lands at 2/3 of TLC's kg per exported GB.
+        let model = EmbodiedModel::default();
+        let raw = 1_000_000_000u64;
+        let plc = carbon_per_exported_gb(&model, CellDensity::Plc, raw, 900_000_000);
+        let tlc = carbon_per_exported_gb(&model, CellDensity::Tlc, raw, raw);
+        assert!(
+            ((plc / tlc) - 2.0 / 3.0).abs() < 1e-9,
+            "ratio {}",
+            plc / tlc
+        );
+    }
+
+    #[test]
+    fn short_comparison_runs_and_orders_carbon() {
+        let config = SimConfig {
+            days: 20,
+            ..SimConfig::default()
+        };
+        let results = compare(&config);
+        assert_eq!(results.len(), 3);
+        let tlc = &results[0];
+        let qlc = &results[1];
+        let sos = &results[2];
+        assert!((tlc.carbon_vs_tlc - 1.0).abs() < 1e-9);
+        assert!(qlc.carbon_vs_tlc < 1.0, "QLC {}", qlc.carbon_vs_tlc);
+        assert!(
+            sos.carbon_vs_tlc < qlc.carbon_vs_tlc,
+            "SOS {} vs QLC {}",
+            sos.carbon_vs_tlc,
+            qlc.carbon_vs_tlc
+        );
+        // SOS actually used its SPARE partition.
+        assert!(sos.spare_byte_fraction > 0.1, "{}", sos.spare_byte_fraction);
+        // Nothing was lost in a short benign run on SYS-protected
+        // baselines.
+        assert_eq!(tlc.stats.lost_reads, 0);
+        let table = format_comparison(&results);
+        assert!(table.contains("SOS"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Stripe parity for the SYS partition.
+//!
+//! §4.2: SYS blocks "are stored conservatively with additional
+//! redundancy (e.g., parity)". On top of per-page BCH, the SOS device
+//! keeps a RAID-5-style XOR parity page per stripe of `width` data LPNs,
+//! so a page the BCH cannot recover is rebuilt from its stripe peers.
+
+use sos_ftl::{Ftl, FtlError, StreamId};
+use std::collections::HashMap;
+
+/// Stream used for parity pages (kept apart from data blocks: parity is
+/// rewritten far more often).
+pub const STREAM_PARITY: StreamId = 1;
+
+/// Stripe parity manager over a SYS-partition FTL.
+///
+/// Data LPN `l` belongs to stripe `l / width`; each stripe has one
+/// parity LPN drawn from a reserved range at the top of the logical
+/// space. Parity is recomputed on every member write (read-peers +
+/// write-parity), which is the simple, always-consistent variant of
+/// RAID-5 maintenance.
+#[derive(Debug)]
+pub struct StripeManager {
+    width: u64,
+    /// First LPN of the reserved parity range.
+    parity_base: u64,
+    /// Member LPNs currently live, per stripe.
+    members: HashMap<u64, Vec<u64>>,
+}
+
+impl StripeManager {
+    /// Plans stripes of `width` data pages over an FTL whose logical
+    /// space is split into `[0, parity_base)` data LPNs and
+    /// `[parity_base, ...)` parity LPNs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: u64, parity_base: u64) -> Self {
+        assert!(width >= 1, "stripe width must be positive");
+        StripeManager {
+            width,
+            parity_base,
+            members: HashMap::new(),
+        }
+    }
+
+    /// How many data LPNs this layout supports.
+    pub fn data_pages(&self) -> u64 {
+        self.parity_base
+    }
+
+    /// Splits a logical page count into `(data_pages, parity_pages)`
+    /// for a given stripe width.
+    pub fn layout(total_pages: u64, width: u64) -> (u64, u64) {
+        // data + ceil(data/width) <= total.
+        let data = total_pages * width / (width + 1);
+        (data, total_pages - data)
+    }
+
+    fn stripe_of(&self, lpn: u64) -> u64 {
+        lpn / self.width
+    }
+
+    fn parity_lpn(&self, stripe: u64) -> u64 {
+        self.parity_base + stripe
+    }
+
+    /// Records a member write and refreshes the stripe's parity page.
+    /// `page` is the payload just written to `lpn`.
+    pub fn on_write(&mut self, ftl: &mut Ftl, lpn: u64, page: &[u8]) -> Result<(), FtlError> {
+        debug_assert!(lpn < self.parity_base, "parity range written as data");
+        let stripe = self.stripe_of(lpn);
+        let members = self.members.entry(stripe).or_default();
+        if !members.contains(&lpn) {
+            members.push(lpn);
+        }
+        let members = members.clone();
+        let mut parity = vec![0u8; page.len()];
+        for &member in &members {
+            if member == lpn {
+                for (p, &b) in parity.iter_mut().zip(page) {
+                    *p ^= b;
+                }
+                continue;
+            }
+            // Peers that fail to read cleanly are skipped: their stripe
+            // contribution is unknown, and the parity protects the
+            // readable majority (repair of the failed peer happens via
+            // `reconstruct` before the next write, or the data is lost).
+            if let Ok(result) = ftl.read(member) {
+                for (p, &b) in parity.iter_mut().zip(&result.data) {
+                    *p ^= b;
+                }
+            }
+        }
+        ftl.write_stream(self.parity_lpn(stripe), &parity, STREAM_PARITY)?;
+        Ok(())
+    }
+
+    /// Records a member deletion and refreshes parity.
+    pub fn on_trim(&mut self, ftl: &mut Ftl, lpn: u64) -> Result<(), FtlError> {
+        let stripe = self.stripe_of(lpn);
+        let Some(members) = self.members.get_mut(&stripe) else {
+            return Ok(());
+        };
+        members.retain(|&m| m != lpn);
+        let members = members.clone();
+        if members.is_empty() {
+            self.members.remove(&stripe);
+            let _ = ftl.trim(self.parity_lpn(stripe));
+            return Ok(());
+        }
+        let mut parity = vec![0u8; ftl.page_bytes()];
+        for &member in &members {
+            if let Ok(result) = ftl.read(member) {
+                for (p, &b) in parity.iter_mut().zip(&result.data) {
+                    *p ^= b;
+                }
+            }
+        }
+        ftl.write_stream(self.parity_lpn(stripe), &parity, STREAM_PARITY)?;
+        Ok(())
+    }
+
+    /// Attempts to rebuild the payload of a lost member from its stripe
+    /// peers and the parity page. Returns `None` when any peer or the
+    /// parity itself is unavailable.
+    pub fn reconstruct(&self, ftl: &mut Ftl, lpn: u64) -> Option<Vec<u8>> {
+        let stripe = self.stripe_of(lpn);
+        let members = self.members.get(&stripe)?;
+        if !members.contains(&lpn) {
+            return None;
+        }
+        let mut rebuilt = match ftl.read(self.parity_lpn(stripe)) {
+            Ok(result) => result.data,
+            Err(_) => return None,
+        };
+        for &member in members {
+            if member == lpn {
+                continue;
+            }
+            match ftl.read(member) {
+                Ok(result) => {
+                    for (r, &b) in rebuilt.iter_mut().zip(&result.data) {
+                        *r ^= b;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+        Some(rebuilt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_flash::{CellDensity, DeviceConfig, ProgramMode};
+    use sos_ftl::FtlConfig;
+
+    fn setup() -> (Ftl, StripeManager) {
+        let ftl = Ftl::new(
+            &DeviceConfig::tiny(CellDensity::Tlc),
+            FtlConfig::conventional(ProgramMode::native(CellDensity::Tlc)),
+        );
+        let total = ftl.logical_pages();
+        let (data, _) = StripeManager::layout(total, 4);
+        (ftl, StripeManager::new(4, data))
+    }
+
+    fn page(ftl: &Ftl, byte: u8) -> Vec<u8> {
+        vec![byte; ftl.page_bytes()]
+    }
+
+    #[test]
+    fn layout_accounts_for_parity() {
+        let (data, parity) = StripeManager::layout(100, 4);
+        assert!(data + parity == 100);
+        assert!(parity >= data.div_ceil(4));
+    }
+
+    #[test]
+    fn reconstructs_a_lost_member() {
+        let (mut ftl, mut stripes) = setup();
+        // Write three members of stripe 0.
+        for (lpn, byte) in [(0u64, 0x11u8), (1, 0x22), (2, 0x33)] {
+            let data = page(&ftl, byte);
+            ftl.write(lpn, &data).unwrap();
+            stripes.on_write(&mut ftl, lpn, &data).unwrap();
+        }
+        // Simulate loss of member 1.
+        ftl.trim(1).unwrap();
+        let rebuilt = stripes.reconstruct(&mut ftl, 1).expect("reconstructable");
+        assert_eq!(rebuilt, page(&ftl, 0x22));
+    }
+
+    #[test]
+    fn reconstruction_tracks_member_updates() {
+        let (mut ftl, mut stripes) = setup();
+        let first = page(&ftl, 0xAA);
+        ftl.write(0, &first).unwrap();
+        stripes.on_write(&mut ftl, 0, &first).unwrap();
+        let second = page(&ftl, 0xBB);
+        ftl.write(0, &second).unwrap();
+        stripes.on_write(&mut ftl, 0, &second).unwrap();
+        ftl.trim(0).unwrap();
+        let rebuilt = stripes.reconstruct(&mut ftl, 0).expect("reconstructable");
+        assert_eq!(rebuilt, second, "parity must reflect the latest write");
+    }
+
+    #[test]
+    fn trim_removes_member_from_stripe() {
+        let (mut ftl, mut stripes) = setup();
+        let a = page(&ftl, 1);
+        let b = page(&ftl, 2);
+        ftl.write(0, &a).unwrap();
+        stripes.on_write(&mut ftl, 0, &a).unwrap();
+        ftl.write(1, &b).unwrap();
+        stripes.on_write(&mut ftl, 1, &b).unwrap();
+        ftl.trim(0).unwrap();
+        stripes.on_trim(&mut ftl, 0).unwrap();
+        // Member 0 no longer reconstructable; member 1 still is.
+        assert!(stripes.reconstruct(&mut ftl, 0).is_none());
+        ftl.trim(1).unwrap();
+        assert_eq!(stripes.reconstruct(&mut ftl, 1).unwrap(), b);
+    }
+
+    #[test]
+    fn unknown_lpn_is_not_reconstructable() {
+        let (mut ftl, stripes) = setup();
+        assert!(stripes.reconstruct(&mut ftl, 99).is_none());
+    }
+}

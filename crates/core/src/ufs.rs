@@ -1,0 +1,273 @@
+//! UFS-style logical-unit (LUN) facade.
+//!
+//! §4.3: "the UFS mobile storage device standard, used in many Android
+//! phones, already supports optional LUNs with varying reliability
+//! during power failures as well as dynamic device capacity to extend
+//! device lifetime". This module exposes the SOS split as exactly that:
+//! LUN 0 is the high-reliability SYS unit, LUN 1 the degradable SPARE
+//! unit; each reports a *dynamic* capacity that shrinks as its silicon
+//! wears, and capacity changes surface as unit attentions (the SCSI/UFS
+//! notification idiom).
+
+use serde::{Deserialize, Serialize};
+use sos_flash::DeviceConfig;
+use sos_ftl::{Ftl, FtlConfig, FtlError, ReadResult};
+
+/// UFS-like reliability class of a logical unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReliabilityClass {
+    /// Enhanced-reliability unit (pseudo-density + strong ECC): data is
+    /// exact or lost loudly.
+    Enhanced,
+    /// Degradable unit (approximate storage): reads may return slightly
+    /// degraded data by design.
+    Degradable,
+}
+
+/// Descriptor of one logical unit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LunDescriptor {
+    /// Unit number.
+    pub lun: u8,
+    /// Reliability class.
+    pub reliability: ReliabilityClass,
+    /// Logical block size, bytes.
+    pub block_bytes: u32,
+    /// Current exported capacity, logical blocks (dynamic).
+    pub capacity_blocks: u64,
+}
+
+/// Pending notifications (SCSI-style unit attentions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UnitAttention {
+    /// A unit's capacity changed; the host should re-read descriptors.
+    CapacityChanged {
+        /// The affected unit.
+        lun: u8,
+        /// New capacity in blocks.
+        capacity_blocks: u64,
+    },
+}
+
+/// Errors from LUN operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UfsError {
+    /// No such unit.
+    BadLun(u8),
+    /// LBA beyond the unit's capacity.
+    LbaOutOfRange {
+        /// The unit.
+        lun: u8,
+        /// Offending block address.
+        lba: u64,
+        /// Current capacity.
+        capacity: u64,
+    },
+    /// Underlying storage error.
+    Storage(FtlError),
+}
+
+impl std::fmt::Display for UfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UfsError::BadLun(lun) => write!(f, "no such LUN {lun}"),
+            UfsError::LbaOutOfRange { lun, lba, capacity } => {
+                write!(f, "LBA {lba} beyond LUN {lun} capacity {capacity}")
+            }
+            UfsError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UfsError {}
+
+struct Unit {
+    ftl: Ftl,
+    reliability: ReliabilityClass,
+    last_reported_capacity: u64,
+}
+
+/// A two-LUN UFS-style device over the SOS silicon split.
+pub struct UfsDevice {
+    units: Vec<Unit>,
+    attentions: Vec<UnitAttention>,
+}
+
+impl UfsDevice {
+    /// Builds the device: LUN 0 = SYS (pseudo-QLC, enhanced), LUN 1 =
+    /// SPARE (native PLC, degradable), from a base PLC configuration
+    /// split in half.
+    pub fn new(base: &DeviceConfig) -> Self {
+        let mut sys_config = base.clone();
+        sys_config.geometry.blocks_per_plane = (base.geometry.blocks_per_plane / 2).max(1);
+        let mut spare_config = sys_config.clone();
+        spare_config.seed = base.seed.wrapping_add(1);
+        let sys = Ftl::new(&sys_config, FtlConfig::sos_sys());
+        let spare = Ftl::new(&spare_config, FtlConfig::sos_spare());
+        let units = vec![
+            Unit {
+                last_reported_capacity: sys.sustainable_pages(),
+                ftl: sys,
+                reliability: ReliabilityClass::Enhanced,
+            },
+            Unit {
+                last_reported_capacity: spare.sustainable_pages(),
+                ftl: spare,
+                reliability: ReliabilityClass::Degradable,
+            },
+        ];
+        UfsDevice {
+            units,
+            attentions: Vec::new(),
+        }
+    }
+
+    /// Descriptors for all units (capacities are live values).
+    pub fn luns(&self) -> Vec<LunDescriptor> {
+        self.units
+            .iter()
+            .enumerate()
+            .map(|(index, unit)| LunDescriptor {
+                lun: index as u8,
+                reliability: unit.reliability,
+                block_bytes: unit.ftl.page_bytes() as u32,
+                capacity_blocks: unit.ftl.sustainable_pages().min(unit.ftl.logical_pages()),
+            })
+            .collect()
+    }
+
+    fn unit(&mut self, lun: u8) -> Result<&mut Unit, UfsError> {
+        self.units
+            .get_mut(lun as usize)
+            .ok_or(UfsError::BadLun(lun))
+    }
+
+    fn check_lba(&mut self, lun: u8, lba: u64) -> Result<(), UfsError> {
+        let unit = self.unit(lun)?;
+        let capacity = unit.ftl.sustainable_pages().min(unit.ftl.logical_pages());
+        if lba >= capacity {
+            return Err(UfsError::LbaOutOfRange { lun, lba, capacity });
+        }
+        Ok(())
+    }
+
+    /// Writes one logical block.
+    pub fn write(&mut self, lun: u8, lba: u64, data: &[u8]) -> Result<(), UfsError> {
+        self.check_lba(lun, lba)?;
+        let unit = self.unit(lun)?;
+        unit.ftl
+            .write(lba, data)
+            .map(|_| ())
+            .map_err(UfsError::Storage)
+    }
+
+    /// Reads one logical block.
+    pub fn read(&mut self, lun: u8, lba: u64) -> Result<ReadResult, UfsError> {
+        self.check_lba(lun, lba)?;
+        let unit = self.unit(lun)?;
+        unit.ftl.read(lba).map_err(UfsError::Storage)
+    }
+
+    /// Discards one logical block.
+    pub fn unmap(&mut self, lun: u8, lba: u64) -> Result<(), UfsError> {
+        self.check_lba(lun, lba)?;
+        let unit = self.unit(lun)?;
+        unit.ftl.trim(lba).map_err(UfsError::Storage)
+    }
+
+    /// Advances time and runs background maintenance; queues capacity
+    /// unit attentions when a unit shrank.
+    pub fn background(&mut self, days: f64) -> Result<(), UfsError> {
+        for (index, unit) in self.units.iter_mut().enumerate() {
+            unit.ftl.advance_days(days);
+            unit.ftl.scrub().map_err(UfsError::Storage)?;
+            let _ = unit.ftl.drain_events();
+            let capacity = unit.ftl.sustainable_pages().min(unit.ftl.logical_pages());
+            if capacity < unit.last_reported_capacity {
+                unit.last_reported_capacity = capacity;
+                self.attentions.push(UnitAttention::CapacityChanged {
+                    lun: index as u8,
+                    capacity_blocks: capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains pending unit attentions.
+    pub fn take_attentions(&mut self) -> Vec<UnitAttention> {
+        std::mem::take(&mut self.attentions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_ecc::PageStatus;
+    use sos_flash::CellDensity;
+
+    fn device() -> UfsDevice {
+        UfsDevice::new(&DeviceConfig::tiny(CellDensity::Plc).with_seed(23))
+    }
+
+    #[test]
+    fn two_luns_with_expected_classes() {
+        let device = device();
+        let luns = device.luns();
+        assert_eq!(luns.len(), 2);
+        assert_eq!(luns[0].reliability, ReliabilityClass::Enhanced);
+        assert_eq!(luns[1].reliability, ReliabilityClass::Degradable);
+        // The enhanced LUN trades capacity for reliability (pseudo-QLC
+        // on the same silicon split).
+        assert!(luns[0].capacity_blocks < luns[1].capacity_blocks);
+    }
+
+    #[test]
+    fn block_io_roundtrip_per_lun() {
+        let mut device = device();
+        let block = vec![0x61u8; device.luns()[0].block_bytes as usize];
+        device.write(0, 5, &block).unwrap();
+        let result = device.read(0, 5).unwrap();
+        assert_eq!(result.data, block);
+        assert_eq!(result.status, PageStatus::Intact);
+        device.write(1, 5, &block).unwrap();
+        // Degradable LUN still returns the data (possibly with detected
+        // degradation on worn devices; fresh here).
+        assert_eq!(device.read(1, 5).unwrap().data.len(), block.len());
+    }
+
+    #[test]
+    fn lba_bounds_are_enforced() {
+        let mut device = device();
+        let capacity = device.luns()[0].capacity_blocks;
+        let block = vec![0u8; device.luns()[0].block_bytes as usize];
+        assert!(matches!(
+            device.write(0, capacity, &block).unwrap_err(),
+            UfsError::LbaOutOfRange { .. }
+        ));
+        assert!(matches!(
+            device.read(7, 0).unwrap_err(),
+            UfsError::BadLun(7)
+        ));
+    }
+
+    #[test]
+    fn unmap_discards_blocks() {
+        let mut device = device();
+        let block = vec![0x13u8; device.luns()[1].block_bytes as usize];
+        device.write(1, 9, &block).unwrap();
+        device.unmap(1, 9).unwrap();
+        assert!(device.read(1, 9).is_err());
+    }
+
+    #[test]
+    fn background_runs_and_reports_no_attention_when_healthy() {
+        let mut device = device();
+        let block = vec![0x77u8; device.luns()[1].block_bytes as usize];
+        for lba in 0..50 {
+            device.write(1, lba, &block).unwrap();
+        }
+        device.background(30.0).unwrap();
+        assert!(device.take_attentions().is_empty());
+    }
+}

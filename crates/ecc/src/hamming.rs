@@ -1,0 +1,219 @@
+//! Extended Hamming (72,64) SEC-DED.
+//!
+//! A lightweight per-word code: corrects single-bit errors and detects
+//! double-bit errors in each 64-bit word. Used as a cheap middle ground
+//! between CRC-only detection and full BCH for metadata structures.
+
+/// Decode outcome for one word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HammingOutcome {
+    /// No error detected.
+    Clean,
+    /// A single-bit error was corrected.
+    Corrected,
+    /// A double-bit error was detected (uncorrectable).
+    DoubleError,
+}
+
+/// Parity-check masks for the 7 Hamming parity bits over 64 data bits.
+///
+/// Data bit `i` participates in parity bit `j` iff bit `j` of the
+/// position code of `i` is set. Positions are assigned the classic way:
+/// data bits occupy the non-power-of-two codeword positions `3,5,6,7,...`.
+fn position_code(data_bit: usize) -> u32 {
+    // Map data bit index to its codeword position (skipping powers of 2).
+    let mut pos = 0u32;
+    let mut count = 0usize;
+    let mut candidate = 2u32;
+    while count <= data_bit {
+        candidate += 1;
+        if candidate.is_power_of_two() {
+            continue;
+        }
+        pos = candidate;
+        count += 1;
+    }
+    pos
+}
+
+/// The seven Hamming parity bits over the data bits of `word`.
+fn hamming_bits(word: u64) -> u8 {
+    let mut parity = 0u8;
+    for i in 0..64 {
+        if word & (1 << i) != 0 {
+            parity ^= position_code(i) as u8;
+        }
+    }
+    parity & 0x7F
+}
+
+/// Encodes a 64-bit word: returns the 8-bit check byte
+/// (7 Hamming parity bits + 1 overall parity bit chosen so the whole
+/// 72-bit codeword has even parity).
+pub fn encode64(word: u64) -> u8 {
+    let mut check = hamming_bits(word);
+    let ones = word.count_ones() + (check as u32).count_ones();
+    if ones % 2 == 1 {
+        check |= 0x80;
+    }
+    check
+}
+
+/// Decodes a word with its check byte, correcting in place when possible.
+pub fn decode64(word: &mut u64, check: u8) -> HammingOutcome {
+    let syndrome = hamming_bits(*word) ^ (check & 0x7F);
+    // Total parity of the received 72-bit codeword: even for a clean
+    // word or any double error, odd for any single error.
+    let odd_total = (word.count_ones() + (check as u32).count_ones()) % 2 == 1;
+    match (syndrome, odd_total) {
+        (0, false) => HammingOutcome::Clean,
+        (0, true) => {
+            // Error in the overall parity bit itself: data is fine.
+            HammingOutcome::Corrected
+        }
+        (s, true) => {
+            // Single error at codeword position s: flip if it is a data
+            // position; a power-of-two syndrome means a stored parity bit
+            // flipped and the data is intact.
+            for i in 0..64 {
+                if position_code(i) == s as u32 {
+                    *word ^= 1 << i;
+                    return HammingOutcome::Corrected;
+                }
+            }
+            HammingOutcome::Corrected
+        }
+        (_, false) => HammingOutcome::DoubleError,
+    }
+}
+
+/// Encodes a byte slice word-by-word, returning one check byte per 8
+/// bytes of data. The final partial word (if any) is zero-padded.
+pub fn encode_slice(data: &[u8]) -> Vec<u8> {
+    data.chunks(8)
+        .map(|chunk| {
+            let mut bytes = [0u8; 8];
+            bytes[..chunk.len()].copy_from_slice(chunk);
+            encode64(u64::from_le_bytes(bytes))
+        })
+        .collect()
+}
+
+/// Decodes a byte slice in place. Returns `(corrected_words,
+/// double_error_words)`.
+pub fn decode_slice(data: &mut [u8], checks: &[u8]) -> (usize, usize) {
+    let mut corrected = 0;
+    let mut double = 0;
+    for (chunk, &check) in data.chunks_mut(8).zip(checks) {
+        let mut bytes = [0u8; 8];
+        bytes[..chunk.len()].copy_from_slice(chunk);
+        let mut word = u64::from_le_bytes(bytes);
+        match decode64(&mut word, check) {
+            HammingOutcome::Clean => {}
+            HammingOutcome::Corrected => {
+                corrected += 1;
+                let out = word.to_le_bytes();
+                chunk.copy_from_slice(&out[..chunk.len()]);
+            }
+            HammingOutcome::DoubleError => double += 1,
+        }
+    }
+    (corrected, double)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn clean_words_pass_through() {
+        for word in [0u64, u64::MAX, 0xDEADBEEFCAFEBABE] {
+            let check = encode64(word);
+            let mut w = word;
+            assert_eq!(decode64(&mut w, check), HammingOutcome::Clean);
+            assert_eq!(w, word);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_error() {
+        let word = 0x0123456789ABCDEFu64;
+        let check = encode64(word);
+        for bit in 0..64 {
+            let mut w = word ^ (1 << bit);
+            assert_eq!(
+                decode64(&mut w, check),
+                HammingOutcome::Corrected,
+                "bit {bit}"
+            );
+            assert_eq!(w, word, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn corrects_check_byte_errors_without_touching_data() {
+        let word = 0xFEDCBA9876543210u64;
+        let check = encode64(word);
+        for bit in 0..8 {
+            let mut w = word;
+            let outcome = decode64(&mut w, check ^ (1 << bit));
+            assert_eq!(outcome, HammingOutcome::Corrected, "check bit {bit}");
+            assert_eq!(w, word, "check bit {bit}");
+        }
+    }
+
+    #[test]
+    fn detects_double_bit_errors() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let word = 0xA5A5A5A55A5A5A5Au64;
+        let check = encode64(word);
+        for _ in 0..100 {
+            let b1 = rng.gen_range(0..64);
+            let mut b2 = rng.gen_range(0..64);
+            while b2 == b1 {
+                b2 = rng.gen_range(0..64);
+            }
+            let mut w = word ^ (1 << b1) ^ (1 << b2);
+            assert_eq!(
+                decode64(&mut w, check),
+                HammingOutcome::DoubleError,
+                "bits {b1},{b2}"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_roundtrip_with_correction() {
+        let mut data: Vec<u8> = (0..40).map(|i| (i * 7) as u8).collect();
+        let checks = encode_slice(&data);
+        assert_eq!(checks.len(), 5);
+        let original = data.clone();
+        data[9] ^= 0x10; // single-bit error in word 1
+        data[35] ^= 0x01; // single-bit error in word 4 (partial word)
+        let (corrected, double) = decode_slice(&mut data, &checks);
+        assert_eq!((corrected, double), (2, 0));
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn slice_reports_double_errors() {
+        let mut data = vec![0x55u8; 16];
+        let checks = encode_slice(&data);
+        data[0] ^= 0x03; // two bit errors in word 0
+        let (corrected, double) = decode_slice(&mut data, &checks);
+        assert_eq!((corrected, double), (0, 1));
+    }
+
+    #[test]
+    fn position_codes_are_unique_and_not_powers_of_two() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            let code = position_code(i);
+            assert!(!code.is_power_of_two(), "data bit {i} at parity position");
+            assert!(code >= 3);
+            assert!(seen.insert(code), "duplicate position for bit {i}");
+        }
+    }
+}

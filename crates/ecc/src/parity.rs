@@ -1,0 +1,233 @@
+//! XOR stripe parity across pages.
+//!
+//! The SYS partition stores critical data "conservatively with additional
+//! redundancy (e.g., parity)" (§4.2). A RAID-5-style XOR stripe across N
+//! data pages lets SOS reconstruct one lost page per stripe — the page-
+//! level complement to the per-page BCH that handles bit-level errors.
+
+/// A parity stripe over fixed-size pages.
+#[derive(Debug, Clone)]
+pub struct ParityStripe {
+    page_bytes: usize,
+    stripe_width: usize,
+}
+
+/// Errors from stripe operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StripeError {
+    /// A page had the wrong length.
+    WrongPageLength {
+        /// Expected bytes.
+        expected: usize,
+        /// Got bytes.
+        got: usize,
+    },
+    /// Wrong number of pages supplied for the stripe width.
+    WrongStripeWidth {
+        /// Expected pages.
+        expected: usize,
+        /// Got pages.
+        got: usize,
+    },
+    /// More than one page missing; XOR parity cannot reconstruct.
+    TooManyMissing(usize),
+}
+
+impl std::fmt::Display for StripeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StripeError::WrongPageLength { expected, got } => {
+                write!(f, "wrong page length: expected {expected}, got {got}")
+            }
+            StripeError::WrongStripeWidth { expected, got } => {
+                write!(f, "wrong stripe width: expected {expected}, got {got}")
+            }
+            StripeError::TooManyMissing(n) => {
+                write!(f, "{n} pages missing; XOR parity reconstructs at most 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StripeError {}
+
+impl ParityStripe {
+    /// Creates a stripe configuration: `stripe_width` data pages of
+    /// `page_bytes` each, protected by one parity page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(page_bytes: usize, stripe_width: usize) -> Self {
+        assert!(page_bytes > 0 && stripe_width > 0);
+        ParityStripe {
+            page_bytes,
+            stripe_width,
+        }
+    }
+
+    /// Storage overhead of the parity page as a fraction of user data.
+    pub fn overhead(&self) -> f64 {
+        1.0 / self.stripe_width as f64
+    }
+
+    /// Computes the parity page for a full stripe.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the page count or any page length mismatches the
+    /// configuration.
+    pub fn compute_parity(&self, pages: &[&[u8]]) -> Result<Vec<u8>, StripeError> {
+        if pages.len() != self.stripe_width {
+            return Err(StripeError::WrongStripeWidth {
+                expected: self.stripe_width,
+                got: pages.len(),
+            });
+        }
+        let mut parity = vec![0u8; self.page_bytes];
+        for page in pages {
+            if page.len() != self.page_bytes {
+                return Err(StripeError::WrongPageLength {
+                    expected: self.page_bytes,
+                    got: page.len(),
+                });
+            }
+            for (p, &b) in parity.iter_mut().zip(page.iter()) {
+                *p ^= b;
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Reconstructs the single missing page (`None` entry) from the
+    /// surviving pages and the parity page.
+    ///
+    /// # Errors
+    ///
+    /// Fails if more than one page is missing or lengths mismatch.
+    pub fn reconstruct(
+        &self,
+        pages: &[Option<&[u8]>],
+        parity: &[u8],
+    ) -> Result<(usize, Vec<u8>), StripeError> {
+        if pages.len() != self.stripe_width {
+            return Err(StripeError::WrongStripeWidth {
+                expected: self.stripe_width,
+                got: pages.len(),
+            });
+        }
+        if parity.len() != self.page_bytes {
+            return Err(StripeError::WrongPageLength {
+                expected: self.page_bytes,
+                got: parity.len(),
+            });
+        }
+        let missing: Vec<usize> = pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.is_none().then_some(i))
+            .collect();
+        if missing.len() != 1 {
+            return Err(StripeError::TooManyMissing(missing.len()));
+        }
+        let mut rebuilt = parity.to_vec();
+        for page in pages.iter().flatten() {
+            if page.len() != self.page_bytes {
+                return Err(StripeError::WrongPageLength {
+                    expected: self.page_bytes,
+                    got: page.len(),
+                });
+            }
+            for (r, &b) in rebuilt.iter_mut().zip(page.iter()) {
+                *r ^= b;
+            }
+        }
+        Ok((missing[0], rebuilt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripe_pages() -> Vec<Vec<u8>> {
+        (0..4u8)
+            .map(|i| {
+                (0..32)
+                    .map(|j| i.wrapping_mul(37).wrapping_add(j))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parity_reconstructs_any_single_page() {
+        let stripe = ParityStripe::new(32, 4);
+        let pages = stripe_pages();
+        let refs: Vec<&[u8]> = pages.iter().map(|p| p.as_slice()).collect();
+        let parity = stripe.compute_parity(&refs).unwrap();
+        for lost in 0..4 {
+            let with_hole: Vec<Option<&[u8]>> = pages
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i != lost).then_some(p.as_slice()))
+                .collect();
+            let (idx, rebuilt) = stripe.reconstruct(&with_hole, &parity).unwrap();
+            assert_eq!(idx, lost);
+            assert_eq!(rebuilt, pages[lost], "page {lost}");
+        }
+    }
+
+    #[test]
+    fn two_missing_pages_fail() {
+        let stripe = ParityStripe::new(32, 4);
+        let pages = stripe_pages();
+        let parity = stripe
+            .compute_parity(&pages.iter().map(|p| p.as_slice()).collect::<Vec<_>>())
+            .unwrap();
+        let with_holes: Vec<Option<&[u8]>> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i >= 2).then_some(p.as_slice()))
+            .collect();
+        assert_eq!(
+            stripe.reconstruct(&with_holes, &parity).unwrap_err(),
+            StripeError::TooManyMissing(2)
+        );
+    }
+
+    #[test]
+    fn zero_missing_pages_fail() {
+        let stripe = ParityStripe::new(32, 2);
+        let pages = stripe_pages();
+        let refs: Vec<&[u8]> = pages[..2].iter().map(|p| p.as_slice()).collect();
+        let parity = stripe.compute_parity(&refs).unwrap();
+        let all: Vec<Option<&[u8]>> = refs.iter().map(|&p| Some(p)).collect();
+        assert_eq!(
+            stripe.reconstruct(&all, &parity).unwrap_err(),
+            StripeError::TooManyMissing(0)
+        );
+    }
+
+    #[test]
+    fn wrong_sizes_are_rejected() {
+        let stripe = ParityStripe::new(32, 4);
+        let short = vec![0u8; 16];
+        let ok = vec![0u8; 32];
+        let pages: Vec<&[u8]> = vec![&short, &ok, &ok, &ok];
+        assert!(matches!(
+            stripe.compute_parity(&pages).unwrap_err(),
+            StripeError::WrongPageLength { .. }
+        ));
+        let pages: Vec<&[u8]> = vec![&ok, &ok];
+        assert!(matches!(
+            stripe.compute_parity(&pages).unwrap_err(),
+            StripeError::WrongStripeWidth { .. }
+        ));
+    }
+
+    #[test]
+    fn overhead_is_one_over_width() {
+        assert!((ParityStripe::new(4096, 8).overhead() - 0.125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,660 @@
+//! Page-level ECC schemes, including approximate (priority-split) modes.
+//!
+//! SOS stores SYS pages with strong correction and SPARE pages with weak
+//! protection, "assuming that applications can tolerate the implications
+//! of increased error rates over time" (§4.2). A [`PageCodec`] binds one
+//! [`EccScheme`] to a page geometry: `encode` packs data + redundancy into
+//! `data + spare` bytes, `decode` recovers data and reports its status.
+//!
+//! The [`EccScheme::PrioritySplit`] variant implements approximate storage
+//! in the style of Sampson et al. (TOCS '14): a protected prefix (headers,
+//! high-priority bits) gets real BCH, the error-tolerant tail gets only
+//! CRC detection, so bit errors degrade quality instead of destroying the
+//! object.
+
+use crate::bch::{BchCode, BchError};
+use crate::crc::crc32;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Codeword chunk size: each chunk is protected by an independent BCH
+/// codeword, matching real flash controllers.
+pub const CHUNK_BYTES: usize = 512;
+
+/// How a page's contents are protected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EccScheme {
+    /// No redundancy at all: pure approximate storage. Errors pass
+    /// through silently.
+    None,
+    /// CRC-32 only: errors are detected (per page) but not corrected.
+    DetectOnly,
+    /// BCH with correction capability `t` per 512-byte chunk.
+    Bch {
+        /// Bit errors correctable per chunk.
+        t: usize,
+    },
+    /// Approximate storage: the first `protected_chunks` chunks get BCH
+    /// (`t` per chunk), the remainder gets CRC detection only.
+    PrioritySplit {
+        /// Bit errors correctable per protected chunk.
+        t: usize,
+        /// Number of leading chunks that receive full protection.
+        protected_chunks: usize,
+    },
+}
+
+/// Health of a decoded page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageStatus {
+    /// All protected data verified; no residual errors detected.
+    Intact,
+    /// The page decoded but carries detected residual errors in its
+    /// unprotected (approximate) region — quality has degraded.
+    DegradedDetected,
+    /// Protected data could not be corrected; the page is lost unless a
+    /// higher-level copy exists.
+    Uncorrectable,
+}
+
+/// Result of decoding a page.
+#[derive(Debug, Clone)]
+pub struct DecodeReport {
+    /// Recovered page data (best effort for degraded/uncorrectable).
+    pub data: Vec<u8>,
+    /// Bits corrected by ECC across all chunks.
+    pub corrected_bits: usize,
+    /// Data health.
+    pub status: PageStatus,
+}
+
+/// Errors constructing or using a codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The scheme's redundancy does not fit the spare area.
+    SpareTooSmall {
+        /// Redundancy bytes required.
+        needed: usize,
+        /// Spare bytes available.
+        available: usize,
+    },
+    /// Input length does not match the codec's data size.
+    WrongDataLength {
+        /// Expected bytes.
+        expected: usize,
+        /// Got bytes.
+        got: usize,
+    },
+    /// Raw page length does not match `data + spare`.
+    WrongRawLength {
+        /// Expected bytes.
+        expected: usize,
+        /// Got bytes.
+        got: usize,
+    },
+    /// `protected_chunks` exceeds the page's chunk count.
+    BadProtectedRange,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::SpareTooSmall { needed, available } => {
+                write!(f, "spare too small: need {needed} bytes, have {available}")
+            }
+            CodecError::WrongDataLength { expected, got } => {
+                write!(f, "wrong data length: expected {expected}, got {got}")
+            }
+            CodecError::WrongRawLength { expected, got } => {
+                write!(f, "wrong raw length: expected {expected}, got {got}")
+            }
+            CodecError::BadProtectedRange => write!(f, "protected chunk range exceeds page"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Returns a cached BCH code over GF(2^13) for correction capability `t`.
+fn bch_for(t: usize) -> Arc<BchCode> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<BchCode>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().expect("bch cache poisoned");
+    guard
+        .entry(t)
+        .or_insert_with(|| Arc::new(BchCode::new(13, t)))
+        .clone()
+}
+
+impl EccScheme {
+    /// Redundancy bytes this scheme needs for `data_bytes` of payload.
+    pub fn overhead_bytes(&self, data_bytes: usize) -> usize {
+        let chunks = data_bytes.div_ceil(CHUNK_BYTES);
+        match *self {
+            EccScheme::None => 0,
+            EccScheme::DetectOnly => 4,
+            EccScheme::Bch { t } => chunks * bch_for(t).parity_bytes(),
+            EccScheme::PrioritySplit {
+                t,
+                protected_chunks,
+            } => protected_chunks.min(chunks) * bch_for(t).parity_bytes() + 4,
+        }
+    }
+
+    /// Raw bit error rate this scheme tolerates on *protected* data with
+    /// per-codeword failure probability below `target`. Detection-only
+    /// and unprotected schemes return `0.0` (no correction at all).
+    pub fn protected_rber_limit(&self, target: f64) -> f64 {
+        match *self {
+            EccScheme::None | EccScheme::DetectOnly => 0.0,
+            EccScheme::Bch { t } | EccScheme::PrioritySplit { t, .. } => {
+                bch_for(t).rber_limit(CHUNK_BYTES, target)
+            }
+        }
+    }
+
+    /// A human-readable short name.
+    pub fn name(&self) -> String {
+        match *self {
+            EccScheme::None => "none".into(),
+            EccScheme::DetectOnly => "crc".into(),
+            EccScheme::Bch { t } => format!("bch-t{t}"),
+            EccScheme::PrioritySplit {
+                t,
+                protected_chunks,
+            } => {
+                format!("split-t{t}-p{protected_chunks}")
+            }
+        }
+    }
+}
+
+/// A page codec: one ECC scheme bound to a page geometry.
+#[derive(Debug, Clone)]
+pub struct PageCodec {
+    scheme: EccScheme,
+    data_bytes: usize,
+    spare_bytes: usize,
+}
+
+impl PageCodec {
+    /// Creates a codec, validating that the scheme fits the spare area.
+    pub fn new(
+        scheme: EccScheme,
+        data_bytes: usize,
+        spare_bytes: usize,
+    ) -> Result<Self, CodecError> {
+        let needed = scheme.overhead_bytes(data_bytes);
+        if needed > spare_bytes {
+            return Err(CodecError::SpareTooSmall {
+                needed,
+                available: spare_bytes,
+            });
+        }
+        if let EccScheme::PrioritySplit {
+            protected_chunks, ..
+        } = scheme
+        {
+            if protected_chunks > data_bytes.div_ceil(CHUNK_BYTES) {
+                return Err(CodecError::BadProtectedRange);
+            }
+        }
+        Ok(PageCodec {
+            scheme,
+            data_bytes,
+            spare_bytes,
+        })
+    }
+
+    /// The scheme in use.
+    pub fn scheme(&self) -> EccScheme {
+        self.scheme
+    }
+
+    /// Payload size in bytes.
+    pub fn data_bytes(&self) -> usize {
+        self.data_bytes
+    }
+
+    /// Total raw page size (`data + spare`).
+    pub fn raw_bytes(&self) -> usize {
+        self.data_bytes + self.spare_bytes
+    }
+
+    /// Encodes `data` into a raw page (data followed by redundancy and
+    /// zero padding to the spare size).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `data` is not exactly `data_bytes` long.
+    pub fn encode(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if data.len() != self.data_bytes {
+            return Err(CodecError::WrongDataLength {
+                expected: self.data_bytes,
+                got: data.len(),
+            });
+        }
+        let mut raw = Vec::with_capacity(self.raw_bytes());
+        raw.extend_from_slice(data);
+        match self.scheme {
+            EccScheme::None => {}
+            EccScheme::DetectOnly => {
+                raw.extend_from_slice(&crc32(data).to_le_bytes());
+            }
+            EccScheme::Bch { t } => {
+                let code = bch_for(t);
+                for chunk in data.chunks(CHUNK_BYTES) {
+                    raw.extend_from_slice(&code.encode(chunk));
+                }
+            }
+            EccScheme::PrioritySplit {
+                t,
+                protected_chunks,
+            } => {
+                let code = bch_for(t);
+                let protected_end = (protected_chunks * CHUNK_BYTES).min(data.len());
+                for chunk in data[..protected_end].chunks(CHUNK_BYTES) {
+                    raw.extend_from_slice(&code.encode(chunk));
+                }
+                raw.extend_from_slice(&crc32(&data[protected_end..]).to_le_bytes());
+            }
+        }
+        raw.resize(self.raw_bytes(), 0);
+        Ok(raw)
+    }
+
+    /// Decodes a raw page, skipping ECC work on chunks known to be
+    /// error-free.
+    ///
+    /// `dirty_bits` are the bit positions (within the raw page) known to
+    /// carry errors — simulator knowledge standing in for a hardware
+    /// zero-syndrome shortcut. Chunks without dirty bits decode to
+    /// themselves, so skipping them is observationally equivalent.
+    pub fn decode_with_dirty(
+        &self,
+        raw: &[u8],
+        dirty_bits: &[usize],
+    ) -> Result<DecodeReport, CodecError> {
+        if raw.len() != self.raw_bytes() {
+            return Err(CodecError::WrongRawLength {
+                expected: self.raw_bytes(),
+                got: raw.len(),
+            });
+        }
+        if dirty_bits.is_empty() {
+            return Ok(DecodeReport {
+                data: raw[..self.data_bytes].to_vec(),
+                corrected_bits: 0,
+                status: PageStatus::Intact,
+            });
+        }
+        // A dirty byte anywhere in the spare area may hit any chunk's
+        // parity or the CRC; fall back to the full decode in that case.
+        if dirty_bits.iter().any(|&b| b / 8 >= self.data_bytes) {
+            return self.decode(raw);
+        }
+        let dirty_chunks: std::collections::HashSet<usize> =
+            dirty_bits.iter().map(|&b| b / 8 / CHUNK_BYTES).collect();
+        let mut data = raw[..self.data_bytes].to_vec();
+        let spare = &raw[self.data_bytes..];
+        let mut corrected = 0usize;
+        let status = match self.scheme {
+            EccScheme::None => PageStatus::Intact,
+            EccScheme::DetectOnly => PageStatus::DegradedDetected, // dirty data bits exist
+            EccScheme::Bch { t } => {
+                let code = bch_for(t);
+                let pb = code.parity_bytes();
+                let mut failed = false;
+                for (index, chunk) in data.chunks_mut(CHUNK_BYTES).enumerate() {
+                    if !dirty_chunks.contains(&index) {
+                        continue;
+                    }
+                    let offset = index * pb;
+                    let mut parity = spare[offset..offset + pb].to_vec();
+                    match code.decode(chunk, &mut parity) {
+                        Ok(n) => corrected += n,
+                        Err(BchError::Uncorrectable) => failed = true,
+                        Err(e) => unreachable!("codec sizing bug: {e}"),
+                    }
+                }
+                if failed {
+                    PageStatus::Uncorrectable
+                } else {
+                    PageStatus::Intact
+                }
+            }
+            EccScheme::PrioritySplit {
+                t,
+                protected_chunks,
+            } => {
+                let code = bch_for(t);
+                let pb = code.parity_bytes();
+                let protected_end = (protected_chunks * CHUNK_BYTES).min(data.len());
+                let mut failed = false;
+                let tail_dirty = dirty_bits.iter().any(|&b| b / 8 >= protected_end);
+                let (head, _tail) = data.split_at_mut(protected_end);
+                for (index, chunk) in head.chunks_mut(CHUNK_BYTES).enumerate() {
+                    if !dirty_chunks.contains(&index) {
+                        continue;
+                    }
+                    let offset = index * pb;
+                    let mut parity = spare[offset..offset + pb].to_vec();
+                    match code.decode(chunk, &mut parity) {
+                        Ok(n) => corrected += n,
+                        Err(BchError::Uncorrectable) => failed = true,
+                        Err(e) => unreachable!("codec sizing bug: {e}"),
+                    }
+                }
+                if failed {
+                    PageStatus::Uncorrectable
+                } else if tail_dirty {
+                    PageStatus::DegradedDetected
+                } else {
+                    PageStatus::Intact
+                }
+            }
+        };
+        Ok(DecodeReport {
+            data,
+            corrected_bits: corrected,
+            status,
+        })
+    }
+
+    /// Decodes a raw page, correcting protected chunks and checking
+    /// detection codes.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on length mismatch; data-integrity problems are
+    /// reported through [`DecodeReport::status`].
+    pub fn decode(&self, raw: &[u8]) -> Result<DecodeReport, CodecError> {
+        if raw.len() != self.raw_bytes() {
+            return Err(CodecError::WrongRawLength {
+                expected: self.raw_bytes(),
+                got: raw.len(),
+            });
+        }
+        let mut data = raw[..self.data_bytes].to_vec();
+        let spare = &raw[self.data_bytes..];
+        let mut corrected = 0usize;
+        let status = match self.scheme {
+            EccScheme::None => PageStatus::Intact,
+            EccScheme::DetectOnly => {
+                let stored = u32::from_le_bytes(spare[..4].try_into().expect("4 bytes"));
+                if crc32(&data) == stored {
+                    PageStatus::Intact
+                } else {
+                    PageStatus::DegradedDetected
+                }
+            }
+            EccScheme::Bch { t } => {
+                let code = bch_for(t);
+                let pb = code.parity_bytes();
+                let mut failed = false;
+                let mut offset = 0;
+                for chunk in data.chunks_mut(CHUNK_BYTES) {
+                    let mut parity = spare[offset..offset + pb].to_vec();
+                    match code.decode(chunk, &mut parity) {
+                        Ok(n) => corrected += n,
+                        Err(BchError::Uncorrectable) => failed = true,
+                        Err(e) => unreachable!("codec sizing bug: {e}"),
+                    }
+                    offset += pb;
+                }
+                if failed {
+                    PageStatus::Uncorrectable
+                } else {
+                    PageStatus::Intact
+                }
+            }
+            EccScheme::PrioritySplit {
+                t,
+                protected_chunks,
+            } => {
+                let code = bch_for(t);
+                let pb = code.parity_bytes();
+                let protected_end = (protected_chunks * CHUNK_BYTES).min(data.len());
+                let mut failed = false;
+                let mut offset = 0;
+                let (head, tail) = data.split_at_mut(protected_end);
+                for chunk in head.chunks_mut(CHUNK_BYTES) {
+                    let mut parity = spare[offset..offset + pb].to_vec();
+                    match code.decode(chunk, &mut parity) {
+                        Ok(n) => corrected += n,
+                        Err(BchError::Uncorrectable) => failed = true,
+                        Err(e) => unreachable!("codec sizing bug: {e}"),
+                    }
+                    offset += pb;
+                }
+                let stored =
+                    u32::from_le_bytes(spare[offset..offset + 4].try_into().expect("4 bytes"));
+                if failed {
+                    PageStatus::Uncorrectable
+                } else if crc32(tail) != stored {
+                    PageStatus::DegradedDetected
+                } else {
+                    PageStatus::Intact
+                }
+            }
+        };
+        Ok(DecodeReport {
+            data,
+            corrected_bits: corrected,
+            status,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const DATA: usize = 4096;
+    const SPARE: usize = 256;
+
+    fn payload(seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..DATA).map(|_| rng.gen()).collect()
+    }
+
+    fn flip_bits(raw: &mut [u8], range: std::ops::Range<usize>, count: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = std::collections::HashSet::new();
+        while seen.len() < count {
+            let byte = rng.gen_range(range.clone());
+            let bit = rng.gen_range(0..8);
+            if seen.insert((byte, bit)) {
+                raw[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn none_scheme_roundtrips_and_passes_errors_silently() {
+        let codec = PageCodec::new(EccScheme::None, DATA, SPARE).unwrap();
+        let data = payload(1);
+        let mut raw = codec.encode(&data).unwrap();
+        flip_bits(&mut raw, 0..DATA, 5, 2);
+        let report = codec.decode(&raw).unwrap();
+        assert_eq!(report.status, PageStatus::Intact); // silent by design
+        assert_ne!(report.data, data);
+    }
+
+    #[test]
+    fn detect_only_flags_degradation() {
+        let codec = PageCodec::new(EccScheme::DetectOnly, DATA, SPARE).unwrap();
+        let data = payload(3);
+        let raw = codec.encode(&data).unwrap();
+        let clean = codec.decode(&raw).unwrap();
+        assert_eq!(clean.status, PageStatus::Intact);
+        assert_eq!(clean.data, data);
+        let mut corrupted = raw.clone();
+        flip_bits(&mut corrupted, 0..DATA, 1, 4);
+        let report = codec.decode(&corrupted).unwrap();
+        assert_eq!(report.status, PageStatus::DegradedDetected);
+    }
+
+    #[test]
+    fn bch_corrects_scattered_errors() {
+        let codec = PageCodec::new(EccScheme::Bch { t: 18 }, DATA, SPARE).unwrap();
+        let data = payload(5);
+        let mut raw = codec.encode(&data).unwrap();
+        // 40 errors over the whole page: ~5 per 512-byte chunk, well
+        // within t=18 per chunk.
+        flip_bits(&mut raw, 0..DATA, 40, 6);
+        let report = codec.decode(&raw).unwrap();
+        assert_eq!(report.status, PageStatus::Intact);
+        assert_eq!(report.data, data);
+        assert_eq!(report.corrected_bits, 40);
+    }
+
+    #[test]
+    fn bch_reports_uncorrectable_when_overwhelmed() {
+        let codec = PageCodec::new(EccScheme::Bch { t: 8 }, DATA, SPARE).unwrap();
+        let data = payload(7);
+        let mut raw = codec.encode(&data).unwrap();
+        // Concentrate 30 errors in the first chunk (t=8).
+        flip_bits(&mut raw, 0..CHUNK_BYTES, 30, 8);
+        let report = codec.decode(&raw).unwrap();
+        assert_eq!(report.status, PageStatus::Uncorrectable);
+    }
+
+    #[test]
+    fn priority_split_protects_head_and_detects_tail() {
+        let scheme = EccScheme::PrioritySplit {
+            t: 18,
+            protected_chunks: 2,
+        };
+        let codec = PageCodec::new(scheme, DATA, SPARE).unwrap();
+        let data = payload(9);
+        let mut raw = codec.encode(&data).unwrap();
+        // Errors in the protected head get corrected...
+        flip_bits(&mut raw, 0..1024, 10, 10);
+        // ...errors in the tail are only detected.
+        flip_bits(&mut raw, 1024..DATA, 12, 11);
+        let report = codec.decode(&raw).unwrap();
+        assert_eq!(report.status, PageStatus::DegradedDetected);
+        assert_eq!(report.data[..1024], data[..1024], "head must be exact");
+        assert_ne!(report.data[1024..], data[1024..], "tail carries errors");
+    }
+
+    #[test]
+    fn priority_split_clean_page_is_intact() {
+        let scheme = EccScheme::PrioritySplit {
+            t: 8,
+            protected_chunks: 1,
+        };
+        let codec = PageCodec::new(scheme, DATA, SPARE).unwrap();
+        let data = payload(12);
+        let raw = codec.encode(&data).unwrap();
+        let report = codec.decode(&raw).unwrap();
+        assert_eq!(report.status, PageStatus::Intact);
+        assert_eq!(report.data, data);
+    }
+
+    #[test]
+    fn overhead_fits_spare_for_default_schemes() {
+        for scheme in [
+            EccScheme::None,
+            EccScheme::DetectOnly,
+            EccScheme::Bch { t: 18 },
+            EccScheme::PrioritySplit {
+                t: 18,
+                protected_chunks: 2,
+            },
+        ] {
+            let overhead = scheme.overhead_bytes(DATA);
+            assert!(overhead <= SPARE, "{} needs {overhead}", scheme.name());
+            assert!(PageCodec::new(scheme, DATA, SPARE).is_ok());
+        }
+    }
+
+    #[test]
+    fn oversized_scheme_is_rejected() {
+        let err = PageCodec::new(EccScheme::Bch { t: 40 }, DATA, SPARE).unwrap_err();
+        assert!(matches!(err, CodecError::SpareTooSmall { .. }));
+    }
+
+    #[test]
+    fn bad_protected_range_is_rejected() {
+        let scheme = EccScheme::PrioritySplit {
+            t: 4,
+            protected_chunks: 9, // page has 8 chunks
+        };
+        // Overhead for 9 protected chunks of t=4 is small enough to fit,
+        // so the range check must catch it.
+        let err = PageCodec::new(scheme, DATA, SPARE).unwrap_err();
+        assert!(matches!(err, CodecError::BadProtectedRange));
+    }
+
+    #[test]
+    fn wrong_lengths_are_rejected() {
+        let codec = PageCodec::new(EccScheme::DetectOnly, DATA, SPARE).unwrap();
+        assert!(matches!(
+            codec.encode(&[0u8; 10]).unwrap_err(),
+            CodecError::WrongDataLength { .. }
+        ));
+        assert!(matches!(
+            codec.decode(&[0u8; 10]).unwrap_err(),
+            CodecError::WrongRawLength { .. }
+        ));
+    }
+
+    #[test]
+    fn selective_decode_matches_full_decode() {
+        let mut rng = StdRng::seed_from_u64(2718);
+        for scheme in [
+            EccScheme::DetectOnly,
+            EccScheme::Bch { t: 8 },
+            EccScheme::PrioritySplit {
+                t: 8,
+                protected_chunks: 2,
+            },
+        ] {
+            let codec = PageCodec::new(scheme, DATA, SPARE).unwrap();
+            let data = payload(rng.gen());
+            let clean = codec.encode(&data).unwrap();
+            for &errors in &[0usize, 1, 3, 12] {
+                let mut raw = clean.clone();
+                let mut dirty = Vec::new();
+                for _ in 0..errors {
+                    let bit = rng.gen_range(0..raw.len() * 8);
+                    raw[bit / 8] ^= 1 << (bit % 8);
+                    dirty.push(bit);
+                }
+                let full = codec.decode(&raw).unwrap();
+                let selective = codec.decode_with_dirty(&raw, &dirty).unwrap();
+                assert_eq!(
+                    full.status,
+                    selective.status,
+                    "{} e={errors}",
+                    scheme.name()
+                );
+                assert_eq!(full.data, selective.data, "{} e={errors}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn selective_decode_clean_is_intact() {
+        let codec = PageCodec::new(EccScheme::Bch { t: 18 }, DATA, SPARE).unwrap();
+        let data = payload(55);
+        let raw = codec.encode(&data).unwrap();
+        let report = codec.decode_with_dirty(&raw, &[]).unwrap();
+        assert_eq!(report.status, PageStatus::Intact);
+        assert_eq!(report.data, data);
+    }
+
+    #[test]
+    fn rber_limits_order_by_strength() {
+        let none = EccScheme::None.protected_rber_limit(1e-9);
+        let weak = EccScheme::Bch { t: 8 }.protected_rber_limit(1e-9);
+        let strong = EccScheme::Bch { t: 18 }.protected_rber_limit(1e-9);
+        assert_eq!(none, 0.0);
+        assert!(strong > weak && weak > 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Bit-error sampling and uncorrectable-page probability.
+//!
+//! [`CellModel`] gives a raw bit error rate; this
+//! module turns it into concrete flipped bits on reads (for the device
+//! simulator) and into page-level uncorrectable probabilities (for FTL
+//! scrubbing and retirement policy, §4.3 of the paper).
+
+use crate::cell::{CellModel, CellState};
+use crate::density::{CellDensity, ProgramMode};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Error model: cell physics plus sampling helpers.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ErrorModel {
+    /// The underlying threshold-voltage model.
+    pub cell: CellModel,
+}
+
+impl ErrorModel {
+    /// Model for a given physical cell density.
+    pub fn for_density(density: CellDensity) -> Self {
+        ErrorModel {
+            cell: CellModel::for_density(density),
+        }
+    }
+
+    /// Raw bit error rate for `mode` under stress `state`.
+    pub fn rber(&self, mode: ProgramMode, state: CellState) -> f64 {
+        self.cell.rber(mode, state)
+    }
+
+    /// Samples the number of bit errors in `nbits` independent bits each
+    /// flipping with probability `p`.
+    ///
+    /// Uses the exact-ish regime split standard for simulators: inverse
+    /// CDF Poisson sampling for small means, a normal approximation for
+    /// large ones. Both are accurate for the `p <= 1e-2` regime flash
+    /// operates in.
+    pub fn sample_error_count<R: Rng + ?Sized>(rng: &mut R, nbits: usize, p: f64) -> usize {
+        if p <= 0.0 || nbits == 0 {
+            return 0;
+        }
+        if p >= 0.5 {
+            // Degenerate saturation: every bit is a coin flip.
+            return (0..nbits).filter(|_| rng.gen_bool(0.5)).count();
+        }
+        let lambda = nbits as f64 * p;
+        if lambda < 50.0 {
+            // Inverse-CDF Poisson.
+            let u: f64 = rng.gen();
+            let mut cumulative = (-lambda).exp();
+            let mut term = cumulative;
+            let mut k = 0usize;
+            while u > cumulative && k < nbits {
+                k += 1;
+                term *= lambda / k as f64;
+                cumulative += term;
+                if term < 1e-300 {
+                    break;
+                }
+            }
+            k.min(nbits)
+        } else {
+            // Normal approximation to Binomial(n, p).
+            let sigma = (lambda * (1.0 - p)).sqrt();
+            let z = sample_standard_normal(rng);
+            ((lambda + sigma * z).round().max(0.0) as usize).min(nbits)
+        }
+    }
+
+    /// Samples `count` distinct bit positions in `[0, nbits)`.
+    pub fn sample_error_positions<R: Rng + ?Sized>(
+        rng: &mut R,
+        nbits: usize,
+        count: usize,
+    ) -> Vec<usize> {
+        let count = count.min(nbits);
+        if count == 0 {
+            return Vec::new();
+        }
+        // Rejection sampling is fast because error counts are tiny
+        // relative to page size in every non-degenerate regime.
+        if count * 4 < nbits {
+            let mut seen = std::collections::HashSet::with_capacity(count);
+            let mut out = Vec::with_capacity(count);
+            while out.len() < count {
+                let pos = rng.gen_range(0..nbits);
+                if seen.insert(pos) {
+                    out.push(pos);
+                }
+            }
+            out
+        } else {
+            // Dense regime: partial Fisher-Yates over all positions.
+            let mut all: Vec<usize> = (0..nbits).collect();
+            for i in 0..count {
+                let j = rng.gen_range(i..nbits);
+                all.swap(i, j);
+            }
+            all.truncate(count);
+            all
+        }
+    }
+
+    /// Flips `count` random distinct bits of `data` in place and returns
+    /// the flipped bit positions.
+    pub fn inject_errors<R: Rng + ?Sized>(
+        rng: &mut R,
+        data: &mut [u8],
+        count: usize,
+    ) -> Vec<usize> {
+        let nbits = data.len() * 8;
+        let positions = Self::sample_error_positions(rng, nbits, count);
+        for &pos in &positions {
+            data[pos / 8] ^= 1 << (pos % 8);
+        }
+        positions
+    }
+
+    /// Probability that a codeword of `codeword_bits` bits at raw bit
+    /// error rate `rber` contains more than `correctable` errors (i.e. is
+    /// uncorrectable by a `t = correctable` code).
+    ///
+    /// Uses a Poisson tail for small means and a Gaussian tail beyond.
+    pub fn p_uncorrectable(rber: f64, codeword_bits: usize, correctable: usize) -> f64 {
+        if rber <= 0.0 {
+            return 0.0;
+        }
+        let lambda = codeword_bits as f64 * rber.min(0.5);
+        if lambda < 500.0 {
+            // P(X > t) = sum_{k>t} e^-l l^k / k!, summed directly to avoid
+            // the catastrophic cancellation of `1 - CDF` for tiny tails.
+            let mut term = (-lambda).exp();
+            if term == 0.0 {
+                // lambda large enough to underflow exp(-lambda): tail ~ 1.
+                return 1.0;
+            }
+            for k in 1..=correctable {
+                term *= lambda / k as f64;
+            }
+            let mut tail = 0.0;
+            let mut k = correctable as f64 + 1.0;
+            loop {
+                term *= lambda / k;
+                tail += term;
+                // Terms shrink once k > lambda; stop when they no longer
+                // contribute.
+                if k > lambda && term < tail * 1e-15 + 1e-300 {
+                    break;
+                }
+                k += 1.0;
+            }
+            tail.clamp(0.0, 1.0)
+        } else {
+            let sigma = lambda.sqrt();
+            let z = (correctable as f64 + 0.5 - lambda) / sigma;
+            crate::cell::q_function(z)
+        }
+    }
+
+    /// Expected number of bit errors on a read of `nbits` bits.
+    pub fn expected_errors(&self, mode: ProgramMode, state: CellState, nbits: usize) -> f64 {
+        self.rber(mode, state) * nbits as f64
+    }
+}
+
+/// Samples a standard normal variate via Box–Muller.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_count_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let nbits = 16 * 1024 * 8;
+        let p = 1e-3;
+        let trials = 2000;
+        let total: usize = (0..trials)
+            .map(|_| ErrorModel::sample_error_count(&mut rng, nbits, p))
+            .sum();
+        let mean = total as f64 / trials as f64;
+        let expect = nbits as f64 * p;
+        assert!(
+            (mean / expect - 1.0).abs() < 0.05,
+            "mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn sample_count_zero_for_zero_p() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(ErrorModel::sample_error_count(&mut rng, 4096, 0.0), 0);
+        assert_eq!(ErrorModel::sample_error_count(&mut rng, 0, 0.5), 0);
+    }
+
+    #[test]
+    fn sample_count_large_lambda_uses_normal_path() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let nbits = 1 << 20;
+        let p = 1e-3; // lambda ~ 1049 -> normal path
+        let trials = 500;
+        let total: usize = (0..trials)
+            .map(|_| ErrorModel::sample_error_count(&mut rng, nbits, p))
+            .sum();
+        let mean = total as f64 / trials as f64;
+        let expect = nbits as f64 * p;
+        assert!((mean / expect - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn positions_are_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &count in &[0usize, 1, 17, 900, 4096] {
+            let pos = ErrorModel::sample_error_positions(&mut rng, 4096, count);
+            assert_eq!(pos.len(), count.min(4096));
+            let set: std::collections::HashSet<_> = pos.iter().collect();
+            assert_eq!(set.len(), pos.len(), "duplicates at count {count}");
+            assert!(pos.iter().all(|&p| p < 4096));
+        }
+    }
+
+    #[test]
+    fn inject_flips_exactly_count_bits() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut data = vec![0u8; 512];
+        let flipped = ErrorModel::inject_errors(&mut rng, &mut data, 33);
+        assert_eq!(flipped.len(), 33);
+        let ones: u32 = data.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 33);
+    }
+
+    #[test]
+    fn inject_is_involutive() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let original: Vec<u8> = (0..256).map(|i| (i * 31 % 251) as u8).collect();
+        let mut data = original.clone();
+        let flipped = ErrorModel::inject_errors(&mut rng, &mut data, 40);
+        // Flipping the same positions again restores the data.
+        for pos in flipped {
+            data[pos / 8] ^= 1 << (pos % 8);
+        }
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn p_uncorrectable_monotonic_in_rber() {
+        let mut prev = -1.0;
+        for i in 1..10 {
+            let rber = 10f64.powi(-i);
+            let p = ErrorModel::p_uncorrectable(rber, 8 * 1024 * 9, 40);
+            assert!(p >= 0.0 && p <= 1.0);
+            // Higher rber (earlier in iteration order is *higher*) means
+            // higher uncorrectable probability.
+            if prev >= 0.0 {
+                assert!(p <= prev, "rber {rber}: {p} > {prev}");
+            }
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn p_uncorrectable_edges() {
+        assert_eq!(ErrorModel::p_uncorrectable(0.0, 9000, 40), 0.0);
+        // At rber 0.5 virtually every codeword is uncorrectable.
+        let p = ErrorModel::p_uncorrectable(0.5, 9000, 40);
+        assert!(p > 0.999, "{p}");
+        // t = n can always correct.
+        let p = ErrorModel::p_uncorrectable(1e-3, 100, 100);
+        assert!(p < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn p_uncorrectable_matches_poisson_hand_calc() {
+        // lambda = 1, t = 0: P(X > 0) = 1 - e^-1.
+        let p = ErrorModel::p_uncorrectable(1.0 / 1000.0, 1000, 0);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,42 @@
+//! # sos-flash — NAND flash device simulator
+//!
+//! A behavioural simulator of 3D NAND flash used as the hardware substrate
+//! for the SOS (Sustainability-Oriented Storage) reproduction of
+//! *"Degrading Data to Save the Planet"* (HotOS '23).
+//!
+//! The simulator models:
+//!
+//! * **Cell densities** from SLC through PLC, including *pseudo* modes in
+//!   which a physically dense cell (e.g. PLC) is programmed with fewer
+//!   levels (e.g. pseudo-QLC) trading capacity for margin and endurance
+//!   ([`density`]).
+//! * **Device geometry** — channels, dies, planes, blocks and pages, with
+//!   NAND programming constraints (erase-before-program, in-order page
+//!   programming within a block) ([`geometry`], [`device`]).
+//! * **A voltage-window error model** — threshold-voltage distributions
+//!   widen with program/erase wear, retention time and read disturb; the
+//!   raw bit error rate (RBER) is derived from the overlap of adjacent
+//!   level distributions via a Q-function, so pseudo-modes and density
+//!   effects fall out of the physics rather than being hard-coded
+//!   ([`cell`], [`errors`]).
+//! * **Operation timing** — per-density read/program/erase latencies
+//!   ([`timing`]).
+//!
+//! The entry point is [`device::FlashDevice`]; presets for realistic
+//! devices live in [`config`].
+
+pub mod cell;
+pub mod config;
+pub mod density;
+pub mod device;
+pub mod errors;
+pub mod geometry;
+pub mod timing;
+
+pub use cell::CellState;
+pub use config::DeviceConfig;
+pub use density::{CellDensity, ProgramMode};
+pub use device::{FlashDevice, FlashError, ReadOutcome};
+pub use errors::ErrorModel;
+pub use geometry::{BlockAddr, Geometry, PageAddr};
+pub use timing::TimingModel;

@@ -1,0 +1,97 @@
+//! Property-based tests for the flash device simulator.
+
+use proptest::prelude::*;
+use sos_flash::{CellDensity, DeviceConfig, FlashDevice, PageAddr, ProgramMode};
+
+fn addr(device: &FlashDevice, block: u64, page: u32) -> PageAddr {
+    PageAddr {
+        block: device.geometry().block_addr(block),
+        page,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fresh TLC roundtrips bit-exactly (error injection is negligible
+    /// at BOL rates for a single page).
+    #[test]
+    fn fresh_tlc_roundtrip(byte in any::<u8>(), block in 0u64..64, seed in any::<u64>()) {
+        let mut device = FlashDevice::new(&DeviceConfig::tiny(CellDensity::Tlc).with_seed(seed));
+        let data = vec![byte; device.page_total_bytes()];
+        device.program(addr(&device, block, 0), &data).expect("program");
+        let out = device.read(addr(&device, block, 0)).expect("read");
+        prop_assert_eq!(out.data, data);
+    }
+
+    /// RBER is monotone in wear for every mode on PLC silicon.
+    #[test]
+    fn rber_monotone_in_wear(pec_low in 0u32..400, delta in 1u32..400) {
+        use sos_flash::cell::{CellModel, CellState};
+        let model = CellModel::for_density(CellDensity::Plc);
+        for logical in [CellDensity::Slc, CellDensity::Tlc, CellDensity::Qlc, CellDensity::Plc] {
+            let mode = if logical == CellDensity::Plc {
+                ProgramMode::native(CellDensity::Plc)
+            } else {
+                ProgramMode::pseudo(CellDensity::Plc, logical)
+            };
+            let state = |pec| CellState { pec, retention_days: 30.0, reads_since_program: 0 };
+            let low = model.rber(mode, state(pec_low));
+            let high = model.rber(mode, state(pec_low + delta));
+            prop_assert!(high >= low, "{mode}: {high} < {low}");
+        }
+    }
+
+    /// The geometry addressing is a bijection for arbitrary shapes.
+    #[test]
+    fn geometry_bijection(
+        channels in 1u32..4,
+        dies in 1u32..3,
+        planes in 1u32..3,
+        blocks in 1u32..20,
+        pages in 1u32..32,
+    ) {
+        let geometry = sos_flash::Geometry {
+            channels,
+            dies_per_channel: dies,
+            planes_per_die: planes,
+            blocks_per_plane: blocks,
+            pages_per_block: pages,
+            page_bytes: 512,
+            spare_bytes: 32,
+        };
+        for index in 0..geometry.total_pages() {
+            let address = geometry.page_addr(index);
+            prop_assert_eq!(geometry.page_index(address), index);
+        }
+    }
+
+    /// Erase counts accumulate exactly once per erase, independent of
+    /// interleaving with programs.
+    #[test]
+    fn pec_accounting(erases in 1u32..30, seed in any::<u64>()) {
+        let mut device = FlashDevice::new(&DeviceConfig::tiny(CellDensity::Tlc).with_seed(seed));
+        let data = vec![7u8; device.page_total_bytes()];
+        for cycle in 0..erases {
+            device.program(addr(&device, 2, 0), &data).expect("program");
+            device.erase(2).expect("erase");
+            prop_assert_eq!(device.block_pec(2).expect("pec"), cycle + 1);
+        }
+    }
+
+    /// Pseudo-mode usable pages scale by the bits ratio and never exceed
+    /// the native page count.
+    #[test]
+    fn pseudo_usable_pages(seed in any::<u64>()) {
+        let mut device = FlashDevice::new(&DeviceConfig::tiny(CellDensity::Plc).with_seed(seed));
+        let native = device.usable_pages(0).expect("native");
+        for logical in [CellDensity::Slc, CellDensity::Mlc, CellDensity::Tlc, CellDensity::Qlc] {
+            device
+                .set_block_mode(0, ProgramMode::pseudo(CellDensity::Plc, logical))
+                .expect("erased block accepts mode");
+            let usable = device.usable_pages(0).expect("usable");
+            let expected = native as u64 * logical.bits_per_cell() as u64 / 5;
+            prop_assert_eq!(usable as u64, expected);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # sos-ftl — a page-mapped flash translation layer
+//!
+//! The SSD-firmware substrate for the SOS reproduction of *"Degrading
+//! Data to Save the Planet"* (HotOS '23). It provides:
+//!
+//! * logical-to-physical page mapping with multi-stream placement hints
+//!   ([`ftl`]),
+//! * garbage collection (greedy and cost-benefit) and optional static
+//!   wear leveling — disabled on the SOS SPARE partition per §4.3
+//!   ([`gc`]),
+//! * a background scrubber that refreshes ageing data, retires worn
+//!   blocks (capacity variance) and resuscitates PLC blocks at reduced
+//!   pseudo-density ([`scrub`]),
+//! * write-amplification / wear / loss statistics ([`stats`]).
+
+pub mod config;
+pub mod ftl;
+pub mod gc;
+pub mod scrub;
+pub mod stats;
+pub mod zns;
+
+pub use config::{FtlConfig, GcPolicy, ResuscitationPolicy, ScrubConfig, WearLevelingConfig};
+pub use ftl::{Ftl, FtlError, FtlEvent, ReadResult, StreamId, STREAM_DEFAULT, STREAM_GC};
+pub use scrub::ScrubReport;
+pub use stats::{FtlStats, WearSummary};
+pub use zns::{ZnsError, ZoneState, ZonedDevice};

@@ -1,0 +1,82 @@
+//! FTL statistics: write amplification, wear, loss accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative FTL counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FtlStats {
+    /// Pages written by the host.
+    pub host_writes: u64,
+    /// Pages programmed to flash (host + GC + refresh).
+    pub flash_writes: u64,
+    /// Pages read by the host.
+    pub reads: u64,
+    /// Bits corrected by ECC across all reads.
+    pub corrected_bits: u64,
+    /// Host reads that returned uncorrectable data.
+    pub uncorrectable_reads: u64,
+    /// Host reads that returned detected-degraded data.
+    pub degraded_reads: u64,
+    /// Garbage-collection invocations.
+    pub gc_runs: u64,
+    /// Pages relocated by GC.
+    pub gc_page_moves: u64,
+    /// Blocks refreshed by the scrubber.
+    pub refreshes: u64,
+    /// Pages relocated by scrubber refreshes.
+    pub refresh_page_moves: u64,
+    /// Wear-leveling relocations.
+    pub wear_level_moves: u64,
+    /// Blocks retired (failed or worn out).
+    pub blocks_retired: u64,
+    /// Blocks resuscitated at reduced density.
+    pub blocks_resuscitated: u64,
+    /// Logical pages whose data was lost.
+    pub lost_pages: u64,
+}
+
+impl FtlStats {
+    /// Write amplification: flash writes per host write.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_writes == 0 {
+            1.0
+        } else {
+            self.flash_writes as f64 / self.host_writes as f64
+        }
+    }
+}
+
+/// Summary of a wear distribution across blocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WearSummary {
+    /// Minimum program/erase count across good blocks.
+    pub min_pec: u32,
+    /// Maximum program/erase count across good blocks.
+    pub max_pec: u32,
+    /// Mean program/erase count.
+    pub mean_pec: f64,
+    /// Good (in-service) blocks.
+    pub good_blocks: u64,
+    /// Retired blocks.
+    pub bad_blocks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wa_of_fresh_stats_is_one() {
+        assert_eq!(FtlStats::default().write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn wa_ratio() {
+        let stats = FtlStats {
+            host_writes: 100,
+            flash_writes: 150,
+            ..FtlStats::default()
+        };
+        assert!((stats.write_amplification() - 1.5).abs() < 1e-12);
+    }
+}

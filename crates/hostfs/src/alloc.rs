@@ -1,0 +1,204 @@
+//! Extent allocator with a movable capacity ceiling.
+
+use crate::fs::Extent;
+use std::collections::BTreeMap;
+
+/// First-fit extent allocator over pages `0..capacity`.
+///
+/// The ceiling can be lowered at runtime ([`Allocator::set_capacity_floor`])
+/// to implement capacity variance: free space above the new ceiling is
+/// discarded, and future allocations stay below it.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    /// Free extents keyed by start page (coalescing neighbours on
+    /// release).
+    free: BTreeMap<u64, u64>,
+    capacity: u64,
+}
+
+impl Allocator {
+    /// Creates an allocator over `capacity` pages, all free.
+    pub fn new(capacity: u64) -> Self {
+        let mut free = BTreeMap::new();
+        if capacity > 0 {
+            free.insert(0, capacity);
+        }
+        Allocator { free, capacity }
+    }
+
+    /// The current capacity ceiling.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Total free pages below the ceiling.
+    pub fn free_pages(&self) -> u64 {
+        self.free.values().sum()
+    }
+
+    /// Allocates `pages`, possibly split across several extents
+    /// (first-fit, splitting large free runs). Returns `None` — leaving
+    /// the allocator unchanged — if not enough free space exists.
+    pub fn allocate(&mut self, pages: u64) -> Option<Vec<Extent>> {
+        if pages == 0 {
+            return Some(Vec::new());
+        }
+        if self.free_pages() < pages {
+            return None;
+        }
+        let mut remaining = pages;
+        let mut out = Vec::new();
+        while remaining > 0 {
+            let (&start, &len) = self.free.iter().next().expect("free space accounted");
+            self.free.remove(&start);
+            let take = len.min(remaining);
+            out.push(Extent { start, pages: take });
+            if take < len {
+                self.free.insert(start + take, len - take);
+            }
+            remaining -= take;
+        }
+        Some(out)
+    }
+
+    /// Returns an extent to the free pool, coalescing with neighbours.
+    ///
+    /// Pages at or above the ceiling are dropped (they no longer exist).
+    pub fn release(&mut self, extent: Extent) {
+        let start = extent.start;
+        let end = (extent.start + extent.pages).min(self.capacity);
+        if start >= end {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        // Coalesce with the predecessor.
+        if let Some((&prev_start, &prev_len)) = self.free.range(..start).next_back() {
+            if prev_start + prev_len == start {
+                self.free.remove(&prev_start);
+                new_start = prev_start;
+            }
+        }
+        // Coalesce with the successor.
+        if let Some(&next_len) = self.free.get(&end) {
+            self.free.remove(&end);
+            new_end = end + next_len;
+        }
+        self.free.insert(new_start, new_end - new_start);
+    }
+
+    /// Lowers the capacity ceiling to `new_capacity`, discarding free
+    /// space above it. Allocated extents above the ceiling remain the
+    /// caller's responsibility (the FS relocates them).
+    pub fn set_capacity_floor(&mut self, new_capacity: u64) {
+        if new_capacity >= self.capacity {
+            return;
+        }
+        self.capacity = new_capacity;
+        let to_fix: Vec<(u64, u64)> = self
+            .free
+            .range(..)
+            .map(|(&s, &l)| (s, l))
+            .filter(|&(s, l)| s + l > new_capacity)
+            .collect();
+        for (start, len) in to_fix {
+            self.free.remove(&start);
+            if start < new_capacity {
+                self.free.insert(start, new_capacity - start);
+            }
+            let _ = len;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut a = Allocator::new(100);
+        let extents = a.allocate(30).unwrap();
+        assert_eq!(a.free_pages(), 70);
+        for e in extents {
+            a.release(e);
+        }
+        assert_eq!(a.free_pages(), 100);
+        // Fully coalesced back into one run.
+        assert_eq!(a.free.len(), 1);
+    }
+
+    #[test]
+    fn allocation_failure_leaves_state_intact() {
+        let mut a = Allocator::new(10);
+        a.allocate(6).unwrap();
+        assert!(a.allocate(5).is_none());
+        assert_eq!(a.free_pages(), 4);
+        assert!(a.allocate(4).is_some());
+    }
+
+    #[test]
+    fn fragmentation_spans_extents() {
+        let mut a = Allocator::new(30);
+        let x = a.allocate(10).unwrap();
+        let _y = a.allocate(10).unwrap();
+        // Free the first run: free space is [0..10) and [20..30).
+        for e in x {
+            a.release(e);
+        }
+        let z = a.allocate(15).unwrap();
+        assert!(z.len() >= 2, "must span fragments: {z:?}");
+        assert_eq!(a.free_pages(), 5);
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let mut a = Allocator::new(30);
+        let extents = a.allocate(30).unwrap();
+        assert_eq!(extents.len(), 1);
+        // Release middle, then left, then right: ends as one run.
+        a.release(Extent {
+            start: 10,
+            pages: 10,
+        });
+        a.release(Extent {
+            start: 0,
+            pages: 10,
+        });
+        a.release(Extent {
+            start: 20,
+            pages: 10,
+        });
+        assert_eq!(a.free.len(), 1);
+        assert_eq!(a.free_pages(), 30);
+    }
+
+    #[test]
+    fn ceiling_drop_discards_high_free_space() {
+        let mut a = Allocator::new(100);
+        a.set_capacity_floor(60);
+        assert_eq!(a.capacity(), 60);
+        assert_eq!(a.free_pages(), 60);
+        // Allocations stay below the ceiling.
+        let extents = a.allocate(60).unwrap();
+        assert!(extents.iter().all(|e| e.start + e.pages <= 60));
+        assert!(a.allocate(1).is_none());
+    }
+
+    #[test]
+    fn release_above_ceiling_is_dropped() {
+        let mut a = Allocator::new(100);
+        let all = a.allocate(100).unwrap();
+        a.set_capacity_floor(50);
+        for e in all {
+            a.release(e);
+        }
+        assert_eq!(a.free_pages(), 50);
+    }
+
+    #[test]
+    fn zero_page_allocation_is_empty() {
+        let mut a = Allocator::new(10);
+        assert_eq!(a.allocate(0).unwrap().len(), 0);
+    }
+}

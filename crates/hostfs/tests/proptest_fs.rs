@@ -1,0 +1,148 @@
+//! Property-based tests: the filesystem against an in-memory reference
+//! model under random operation sequences.
+
+use proptest::prelude::*;
+use sos_hostfs::{FsError, HostFs, MemStore};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Write {
+        file: u8,
+        offset: u16,
+        len: u16,
+        byte: u8,
+    },
+    Read {
+        file: u8,
+        offset: u16,
+        len: u16,
+    },
+    Delete(u8),
+    Shrink(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8).prop_map(Op::Create),
+        (0u8..8, 0u16..2000, 1u16..1500, any::<u8>()).prop_map(|(file, offset, len, byte)| {
+            Op::Write {
+                file,
+                offset,
+                len,
+                byte,
+            }
+        }),
+        (0u8..8, 0u16..2000, 0u16..1500).prop_map(|(file, offset, len)| Op::Read {
+            file,
+            offset,
+            len
+        }),
+        (0u8..8).prop_map(Op::Delete),
+        (0u8..64).prop_map(Op::Shrink),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever sequence of creates/writes/reads/deletes/shrinks runs,
+    /// the filesystem agrees byte-for-byte with a plain in-memory model
+    /// (when both succeed), and never corrupts surviving files when an
+    /// operation fails.
+    #[test]
+    fn fs_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut fs = HostFs::format(MemStore::new(48, 256));
+        // Reference: path -> contents.
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Create(slot) => {
+                    let path = format!("/f{slot}");
+                    let fs_result = fs.create(&path, 0);
+                    match fs_result {
+                        Ok(_) => {
+                            prop_assert!(!model.contains_key(&path));
+                            model.insert(path, Vec::new());
+                        }
+                        Err(FsError::Exists(_)) => {
+                            prop_assert!(model.contains_key(&path));
+                        }
+                        Err(other) => return Err(TestCaseError::fail(format!("create: {other}"))),
+                    }
+                }
+                Op::Write { file, offset, len, byte } => {
+                    let path = format!("/f{file}");
+                    let Some(id) = fs.lookup(&path) else {
+                        prop_assert!(!model.contains_key(&path));
+                        continue;
+                    };
+                    let data = vec![byte; len as usize];
+                    match fs.write(id, offset as u64, &data) {
+                        Ok(()) => {
+                            let contents = model.get_mut(&path).expect("model in sync");
+                            let end = offset as usize + len as usize;
+                            if contents.len() < end {
+                                contents.resize(end, 0);
+                            }
+                            contents[offset as usize..end].copy_from_slice(&data);
+                        }
+                        Err(FsError::NoSpace) => {
+                            // Allowed under fill; file may have grown
+                            // extents but logical size is unchanged, so
+                            // the model stays as-is.
+                        }
+                        Err(other) => return Err(TestCaseError::fail(format!("write: {other}"))),
+                    }
+                }
+                Op::Read { file, offset, len } => {
+                    let path = format!("/f{file}");
+                    let Some(id) = fs.lookup(&path) else { continue };
+                    let contents = model.get(&path).expect("model in sync");
+                    let end = offset as usize + len as usize;
+                    if end <= contents.len() {
+                        let got = fs.read(id, offset as u64, len as usize);
+                        match got {
+                            Ok(bytes) => prop_assert_eq!(&bytes, &contents[offset as usize..end]),
+                            Err(other) => {
+                                return Err(TestCaseError::fail(format!("read: {other}")))
+                            }
+                        }
+                    } else {
+                        let past_eof = matches!(
+                            fs.read(id, offset as u64, len as usize),
+                            Err(FsError::PastEof { .. })
+                        );
+                        prop_assert!(past_eof, "read past EOF must fail");
+                    }
+                }
+                Op::Delete(slot) => {
+                    let path = format!("/f{slot}");
+                    match fs.delete(&path) {
+                        Ok(()) => {
+                            prop_assert!(model.remove(&path).is_some());
+                        }
+                        Err(FsError::NotFound(_)) => {
+                            prop_assert!(!model.contains_key(&path));
+                        }
+                        Err(other) => return Err(TestCaseError::fail(format!("delete: {other}"))),
+                    }
+                }
+                Op::Shrink(pages) => {
+                    // Shrink may refuse; either way data must survive
+                    // (checked by the final sweep).
+                    let _ = fs.shrink(pages as u64);
+                }
+            }
+        }
+        // Final sweep: every model file readable and equal.
+        for (path, contents) in &model {
+            let id = fs.lookup(path).expect("file exists");
+            if !contents.is_empty() {
+                let got = fs.read(id, 0, contents.len()).expect("readable");
+                prop_assert_eq!(&got, contents, "{}", path);
+            }
+        }
+    }
+}

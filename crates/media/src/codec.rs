@@ -1,0 +1,413 @@
+//! Error-tolerant DCT image codec with priority-ordered layout.
+//!
+//! Design goals follow approximate-storage practice (Sampson TOCS '14;
+//! Li DAC '19; AxFTL TCAD '20), which the paper builds on for SPARE data:
+//!
+//! * **Fixed-width coefficients, no entropy coding** — a flipped bit
+//!   perturbs one coefficient instead of desynchronising the stream.
+//! * **Coefficient-plane ordering** — the byte stream is
+//!   `header | DC plane | AC plane 1 | AC plane 2 | ...`, so perceptual
+//!   priority decreases monotonically with byte offset. Protecting a
+//!   *prefix* (via `EccScheme::PrioritySplit`) protects exactly the bits
+//!   whose corruption hurts most.
+//! * **Self-checking header** — the 16-byte header carries a CRC and is
+//!   expected to live inside the protected prefix.
+
+use crate::dct::{forward, inverse, zigzag_order, BLOCK};
+use crate::image::Image;
+use crate::quant::QuantTable;
+use sos_ecc::crc32;
+
+/// Magic tag identifying encoded images.
+const MAGIC: u16 = 0x50D5;
+
+/// Maximum legitimate dequantised coefficient magnitude for a zigzag
+/// plane.
+///
+/// An orthonormal 8×8 DCT of pixels in `[-128, 127]` bounds every
+/// coefficient by 1024, and natural-image energy decays steeply with
+/// frequency. Clamping dequantised values to a per-plane envelope bounds
+/// the damage a flipped high-order bit can do to a block — the key to
+/// *graceful* (rather than catastrophic) degradation under approximate
+/// storage. The same clamp is applied during encoding so clean data is
+/// unaffected by the decode-side clamp.
+fn plane_limit(plane: usize) -> f64 {
+    1024.0 / (1.0 + 0.75 * plane as f64)
+}
+
+/// Header length in bytes.
+pub const HEADER_BYTES: usize = 16;
+
+/// Errors from encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Image larger than the 16-bit dimension fields allow.
+    ImageTooLarge,
+    /// `kept_coefficients` outside `1..=64`.
+    BadKeptCount(usize),
+    /// Header failed its CRC or magic check (stream unusable).
+    HeaderCorrupt,
+    /// Byte stream shorter than the header demands.
+    Truncated {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes available.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::ImageTooLarge => write!(f, "image exceeds 65535 pixels per side"),
+            CodecError::BadKeptCount(k) => write!(f, "kept coefficient count {k} not in 1..=64"),
+            CodecError::HeaderCorrupt => write!(f, "header corrupt (magic/CRC mismatch)"),
+            CodecError::Truncated { expected, got } => {
+                write!(f, "stream truncated: need {expected} bytes, have {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An encoded image with its priority structure exposed.
+#[derive(Debug, Clone)]
+pub struct EncodedImage {
+    /// The byte stream (header + coefficient planes).
+    pub bytes: Vec<u8>,
+    /// Blocks across (padded) width.
+    pub blocks_x: usize,
+    /// Blocks down (padded) height.
+    pub blocks_y: usize,
+    /// Coefficients kept per block.
+    pub kept: usize,
+}
+
+impl EncodedImage {
+    /// Byte offset where coefficient plane `plane` begins (plane 0 = DC).
+    pub fn plane_offset(&self, plane: usize) -> usize {
+        HEADER_BYTES + plane * self.blocks_x * self.blocks_y * 2
+    }
+
+    /// A suggested protected-prefix length covering the header plus the
+    /// first `planes` coefficient planes. `planes = 1` protects DC only —
+    /// the sweet spot measured in experiment E7.
+    pub fn protected_prefix(&self, planes: usize) -> usize {
+        self.plane_offset(planes.min(self.kept))
+            .min(self.bytes.len())
+    }
+
+    /// Total stream length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the stream is empty (never true for valid encodings).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// The image codec: quality plus coefficient-retention settings.
+#[derive(Debug, Clone)]
+pub struct ImageCodec {
+    quant: QuantTable,
+    kept: usize,
+}
+
+impl ImageCodec {
+    /// Creates a codec with a JPEG-style `quality` (1..=100) keeping the
+    /// first `kept_coefficients` zigzag coefficients per 8×8 block.
+    pub fn new(quality: u8, kept_coefficients: usize) -> Result<Self, CodecError> {
+        if !(1..=BLOCK * BLOCK).contains(&kept_coefficients) {
+            return Err(CodecError::BadKeptCount(kept_coefficients));
+        }
+        Ok(ImageCodec {
+            quant: QuantTable::for_quality(quality),
+            kept: kept_coefficients,
+        })
+    }
+
+    /// A reasonable default: quality 75, 20 of 64 coefficients kept
+    /// (~0.6 bytes/pixel).
+    pub fn default_photo() -> Self {
+        ImageCodec::new(75, 20).expect("constants are valid")
+    }
+
+    /// Compressed bytes per pixel for this codec configuration.
+    pub fn bytes_per_pixel(&self) -> f64 {
+        self.kept as f64 * 2.0 / (BLOCK * BLOCK) as f64
+    }
+
+    /// Encodes an image.
+    pub fn encode(&self, image: &Image) -> Result<EncodedImage, CodecError> {
+        if image.width() > u16::MAX as usize || image.height() > u16::MAX as usize {
+            return Err(CodecError::ImageTooLarge);
+        }
+        let blocks_x = image.width().div_ceil(BLOCK).max(1);
+        let blocks_y = image.height().div_ceil(BLOCK).max(1);
+        let order = zigzag_order();
+        // Quantise every block, collecting per-block kept coefficients.
+        let mut planes: Vec<Vec<i16>> = vec![vec![0i16; blocks_x * blocks_y]; self.kept];
+        for by in 0..blocks_y {
+            for bx in 0..blocks_x {
+                let mut block = [0.0f64; BLOCK * BLOCK];
+                for y in 0..BLOCK {
+                    for x in 0..BLOCK {
+                        // Edge-replicate padding.
+                        let px = (bx * BLOCK + x).min(image.width().saturating_sub(1));
+                        let py = (by * BLOCK + y).min(image.height().saturating_sub(1));
+                        block[y * BLOCK + x] = image.get(px, py) as f64 - 128.0;
+                    }
+                }
+                let quantised = self.quant.quantise(&forward(&block));
+                for (plane, store) in planes.iter_mut().enumerate() {
+                    let divisor = self.quant.divisors[order[plane]] as f64;
+                    let max_q = (plane_limit(plane) / divisor).floor().max(0.0) as i16;
+                    store[by * blocks_x + bx] = quantised[order[plane]].clamp(-max_q, max_q);
+                }
+            }
+        }
+        // Serialise: header, then coefficient planes low-frequency first.
+        let mut bytes = Vec::with_capacity(HEADER_BYTES + self.kept * blocks_x * blocks_y * 2);
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&(image.width() as u16).to_le_bytes());
+        bytes.extend_from_slice(&(image.height() as u16).to_le_bytes());
+        bytes.push(self.quant.quality);
+        bytes.push(self.kept as u8);
+        bytes.extend_from_slice(&[0u8; 4]); // reserved
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        debug_assert_eq!(bytes.len(), HEADER_BYTES);
+        for plane in &planes {
+            for &coefficient in plane {
+                bytes.extend_from_slice(&coefficient.to_le_bytes());
+            }
+        }
+        Ok(EncodedImage {
+            bytes,
+            blocks_x,
+            blocks_y,
+            kept: self.kept,
+        })
+    }
+}
+
+/// Decodes an encoded image byte stream (tolerating bit errors in the
+/// coefficient planes; the header must survive, which is why SOS stores
+/// it in the protected prefix).
+pub fn decode(bytes: &[u8]) -> Result<Image, CodecError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(CodecError::Truncated {
+            expected: HEADER_BYTES,
+            got: bytes.len(),
+        });
+    }
+    let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+    let stored_crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    if magic != MAGIC || crc32(&bytes[..12]) != stored_crc {
+        return Err(CodecError::HeaderCorrupt);
+    }
+    let width = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
+    let height = u16::from_le_bytes([bytes[4], bytes[5]]) as usize;
+    let quality = bytes[6];
+    let kept = bytes[7] as usize;
+    if !(1..=BLOCK * BLOCK).contains(&kept) || !(1..=100).contains(&quality) {
+        return Err(CodecError::HeaderCorrupt);
+    }
+    let blocks_x = width.div_ceil(BLOCK).max(1);
+    let blocks_y = height.div_ceil(BLOCK).max(1);
+    let expected = HEADER_BYTES + kept * blocks_x * blocks_y * 2;
+    if bytes.len() < expected {
+        return Err(CodecError::Truncated {
+            expected,
+            got: bytes.len(),
+        });
+    }
+    let quant = QuantTable::for_quality(quality);
+    let order = zigzag_order();
+    let mut pixels = vec![0u8; width * height];
+    for by in 0..blocks_y {
+        for bx in 0..blocks_x {
+            let mut quantised = [0i16; BLOCK * BLOCK];
+            for plane in 0..kept {
+                let offset = HEADER_BYTES + (plane * blocks_x * blocks_y + by * blocks_x + bx) * 2;
+                let raw = i16::from_le_bytes([bytes[offset], bytes[offset + 1]]);
+                // Bound the damage a flipped high-order bit can do: no
+                // legitimate coefficient exceeds the plane envelope.
+                let divisor = quant.divisors[order[plane]] as f64;
+                let max_q = (plane_limit(plane) / divisor).floor().max(0.0) as i16;
+                quantised[order[plane]] = raw.clamp(-max_q, max_q);
+            }
+            let spatial = inverse(&quant.dequantise(&quantised));
+            for y in 0..BLOCK {
+                for x in 0..BLOCK {
+                    let px = bx * BLOCK + x;
+                    let py = by * BLOCK + y;
+                    if px < width && py < height {
+                        pixels[py * width + px] =
+                            (spatial[y * BLOCK + x] + 128.0).clamp(0.0, 255.0) as u8;
+                    }
+                }
+            }
+        }
+    }
+    Ok(Image::from_pixels(width, height, pixels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::psnr;
+    use crate::synth::synthetic_photo;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn flip_random_bits(bytes: &mut [u8], range: std::ops::Range<usize>, count: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..count {
+            let byte = rng.gen_range(range.clone());
+            let bit = rng.gen_range(0..8);
+            bytes[byte] ^= 1 << bit;
+        }
+    }
+
+    #[test]
+    fn clean_roundtrip_has_high_psnr() {
+        let image = synthetic_photo(96, 64, 11);
+        let codec = ImageCodec::default_photo();
+        let encoded = codec.encode(&image).unwrap();
+        let decoded = decode(&encoded.bytes).unwrap();
+        let q = psnr(&image, &decoded);
+        assert!(q > 30.0, "clean roundtrip PSNR {q}");
+    }
+
+    #[test]
+    fn higher_quality_gives_higher_psnr() {
+        let image = synthetic_photo(64, 64, 5);
+        let low = ImageCodec::new(20, 20).unwrap();
+        let high = ImageCodec::new(95, 40).unwrap();
+        let p_low = psnr(&image, &decode(&low.encode(&image).unwrap().bytes).unwrap());
+        let p_high = psnr(
+            &image,
+            &decode(&high.encode(&image).unwrap().bytes).unwrap(),
+        );
+        assert!(p_high > p_low, "{p_high} vs {p_low}");
+    }
+
+    #[test]
+    fn bit_errors_in_high_planes_degrade_gracefully() {
+        let image = synthetic_photo(96, 96, 3);
+        let codec = ImageCodec::default_photo();
+        let encoded = codec.encode(&image).unwrap();
+        let clean_psnr = psnr(&image, &decode(&encoded.bytes).unwrap());
+        // Corrupt only the highest-frequency planes (beyond plane 5).
+        let mut corrupted = encoded.bytes.clone();
+        let start = encoded.plane_offset(5);
+        let end = corrupted.len();
+        flip_random_bits(&mut corrupted, start..end, 30, 21);
+        let degraded = decode(&corrupted).unwrap();
+        let q = psnr(&image, &degraded);
+        assert!(q < clean_psnr, "corruption must lower PSNR");
+        assert!(
+            q > 20.0,
+            "high-plane errors must degrade gracefully, got {q} dB"
+        );
+    }
+
+    #[test]
+    fn dc_plane_errors_hurt_more_than_high_plane_errors() {
+        let image = synthetic_photo(96, 96, 9);
+        let codec = ImageCodec::default_photo();
+        let encoded = codec.encode(&image).unwrap();
+        let errors = 20;
+        let mut dc_damaged = encoded.bytes.clone();
+        flip_random_bits(
+            &mut dc_damaged,
+            encoded.plane_offset(0)..encoded.plane_offset(1),
+            errors,
+            31,
+        );
+        let mut hf_damaged = encoded.bytes.clone();
+        flip_random_bits(
+            &mut hf_damaged,
+            encoded.plane_offset(encoded.kept - 2)..encoded.bytes.len(),
+            errors,
+            32,
+        );
+        let p_dc = psnr(&image, &decode(&dc_damaged).unwrap());
+        let p_hf = psnr(&image, &decode(&hf_damaged).unwrap());
+        assert!(
+            p_dc < p_hf - 3.0,
+            "DC damage ({p_dc} dB) must hurt more than HF damage ({p_hf} dB)"
+        );
+    }
+
+    #[test]
+    fn corrupted_header_is_detected() {
+        let image = synthetic_photo(32, 32, 1);
+        let codec = ImageCodec::default_photo();
+        let mut encoded = codec.encode(&image).unwrap();
+        encoded.bytes[2] ^= 0xFF; // width field
+        assert_eq!(
+            decode(&encoded.bytes).unwrap_err(),
+            CodecError::HeaderCorrupt
+        );
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let image = synthetic_photo(32, 32, 1);
+        let codec = ImageCodec::default_photo();
+        let encoded = codec.encode(&image).unwrap();
+        let err = decode(&encoded.bytes[..encoded.bytes.len() / 2]).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }));
+        assert!(matches!(
+            decode(&encoded.bytes[..4]).unwrap_err(),
+            CodecError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn protected_prefix_grows_with_planes() {
+        let image = synthetic_photo(64, 48, 2);
+        let encoded = ImageCodec::default_photo().encode(&image).unwrap();
+        let p0 = encoded.protected_prefix(0);
+        let p1 = encoded.protected_prefix(1);
+        let p2 = encoded.protected_prefix(2);
+        assert_eq!(p0, HEADER_BYTES);
+        assert!(p1 > p0 && p2 > p1);
+        assert!(encoded.protected_prefix(1000) <= encoded.len());
+    }
+
+    #[test]
+    fn non_multiple_of_eight_dimensions_roundtrip() {
+        let image = synthetic_photo(37, 23, 13);
+        let codec = ImageCodec::new(85, 32).unwrap();
+        let decoded = decode(&codec.encode(&image).unwrap().bytes).unwrap();
+        assert_eq!((decoded.width(), decoded.height()), (37, 23));
+        assert!(psnr(&image, &decoded) > 28.0);
+    }
+
+    #[test]
+    fn bad_kept_count_rejected() {
+        assert!(matches!(
+            ImageCodec::new(50, 0).unwrap_err(),
+            CodecError::BadKeptCount(0)
+        ));
+        assert!(matches!(
+            ImageCodec::new(50, 65).unwrap_err(),
+            CodecError::BadKeptCount(65)
+        ));
+    }
+
+    #[test]
+    fn bytes_per_pixel_matches_layout() {
+        let image = synthetic_photo(64, 64, 4);
+        let codec = ImageCodec::new(75, 16).unwrap();
+        let encoded = codec.encode(&image).unwrap();
+        let expected = 64.0 * 64.0 * codec.bytes_per_pixel() + HEADER_BYTES as f64;
+        assert!((encoded.len() as f64 - expected).abs() < 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! 8×8 type-II discrete cosine transform and its inverse.
+//!
+//! The DCT concentrates image energy into low-frequency coefficients —
+//! the property approximate storage exploits: bit errors in high-
+//! frequency coefficients barely move PSNR, so only the low-frequency
+//! prefix needs protection (§4.2 of the paper; Sampson TOCS '14;
+//! Li DAC '19).
+
+/// Block edge length: transforms operate on 8×8 tiles.
+pub const BLOCK: usize = 8;
+
+/// Cosine basis table `cos[(2x+1) u pi / 16]`, indexed `[u][x]`.
+fn basis() -> &'static [[f64; BLOCK]; BLOCK] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[f64; BLOCK]; BLOCK]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0.0; BLOCK]; BLOCK];
+        for (u, row) in t.iter_mut().enumerate() {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos();
+            }
+        }
+        t
+    })
+}
+
+#[inline]
+fn alpha(u: usize) -> f64 {
+    if u == 0 {
+        1.0 / std::f64::consts::SQRT_2
+    } else {
+        1.0
+    }
+}
+
+/// Forward 8×8 DCT-II of a spatial block (row-major, any numeric range).
+pub fn forward(block: &[f64; BLOCK * BLOCK]) -> [f64; BLOCK * BLOCK] {
+    let c = basis();
+    let mut out = [0.0; BLOCK * BLOCK];
+    for u in 0..BLOCK {
+        for v in 0..BLOCK {
+            let mut sum = 0.0;
+            for y in 0..BLOCK {
+                for x in 0..BLOCK {
+                    sum += block[y * BLOCK + x] * c[u][y] * c[v][x];
+                }
+            }
+            out[u * BLOCK + v] = 0.25 * alpha(u) * alpha(v) * sum;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT (DCT-III), reconstructing the spatial block.
+pub fn inverse(coeffs: &[f64; BLOCK * BLOCK]) -> [f64; BLOCK * BLOCK] {
+    let c = basis();
+    let mut out = [0.0; BLOCK * BLOCK];
+    for y in 0..BLOCK {
+        for x in 0..BLOCK {
+            let mut sum = 0.0;
+            for u in 0..BLOCK {
+                for v in 0..BLOCK {
+                    sum += alpha(u) * alpha(v) * coeffs[u * BLOCK + v] * c[u][y] * c[v][x];
+                }
+            }
+            out[y * BLOCK + x] = 0.25 * sum;
+        }
+    }
+    out
+}
+
+/// Zigzag scan order mapping scan index → (row-major) block index, so
+/// low-frequency coefficients come first.
+pub fn zigzag_order() -> &'static [usize; BLOCK * BLOCK] {
+    use std::sync::OnceLock;
+    static ORDER: OnceLock<[usize; BLOCK * BLOCK]> = OnceLock::new();
+    ORDER.get_or_init(|| {
+        let mut order = [0usize; BLOCK * BLOCK];
+        let mut index = 0;
+        for s in 0..(2 * BLOCK - 1) {
+            // Walk each anti-diagonal, alternating direction.
+            let range: Vec<usize> = (0..BLOCK).filter(|&i| s >= i && s - i < BLOCK).collect();
+            let cells: Vec<(usize, usize)> = if s % 2 == 0 {
+                range.iter().rev().map(|&i| (i, s - i)).collect()
+            } else {
+                range.iter().map(|&i| (i, s - i)).collect()
+            };
+            for (r, c) in cells {
+                order[index] = r * BLOCK + c;
+                index += 1;
+            }
+        }
+        order
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> [f64; 64] {
+        let mut b = [0.0; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                b[y * 8 + x] = ((x * 29 + y * 53) % 256) as f64 - 128.0;
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn roundtrip_is_near_exact() {
+        let block = sample_block();
+        let back = inverse(&forward(&block));
+        for i in 0..64 {
+            assert!(
+                (block[i] - back[i]).abs() < 1e-9,
+                "index {i}: {} vs {}",
+                block[i],
+                back[i]
+            );
+        }
+    }
+
+    #[test]
+    fn constant_block_has_only_dc() {
+        let block = [42.0; 64];
+        let coeffs = forward(&block);
+        assert!((coeffs[0] - 8.0 * 42.0).abs() < 1e-9, "DC = 8 * mean");
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-9, "AC coefficient {i} = {c}");
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved() {
+        // DCT-II with this normalisation is orthonormal: Parseval holds.
+        let block = sample_block();
+        let coeffs = forward(&block);
+        let spatial_energy: f64 = block.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = coeffs.iter().map(|v| v * v).sum();
+        assert!(
+            (spatial_energy / freq_energy - 1.0).abs() < 1e-9,
+            "{spatial_energy} vs {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation_starting_at_dc() {
+        let order = zigzag_order();
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 1); // (0,1) comes before (1,0) on the first diagonal
+        let mut seen = [false; 64];
+        for &i in order.iter() {
+            assert!(!seen[i], "duplicate {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zigzag_orders_by_frequency_roughly() {
+        let order = zigzag_order();
+        // The last scan position is the highest frequency (7,7).
+        assert_eq!(order[63], 63);
+        // Early positions have low Manhattan frequency.
+        for (scan, &pos) in order.iter().enumerate().take(10) {
+            let freq = pos / 8 + pos % 8;
+            assert!(freq <= scan + 1, "scan {scan} holds freq {freq}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Grayscale image container.
+
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit grayscale image, row-major.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Builds an image from raw pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height`.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw pixel data, row-major.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Total bytes of raw pixel data.
+    pub fn byte_len(&self) -> usize {
+        self.pixels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let img = Image::from_pixels(3, 2, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(img.get(0, 0), 1);
+        assert_eq!(img.get(2, 1), 6);
+        assert_eq!(img.byte_len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_buffer_size_panics() {
+        let _ = Image::from_pixels(4, 4, vec![0; 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_access_panics() {
+        let img = Image::from_pixels(2, 2, vec![0; 4]);
+        let _ = img.get(2, 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Quantisation of DCT coefficients.
+//!
+//! Standard JPEG luminance quantisation, scaled by a quality factor.
+//! Quantisation is where the codec trades fidelity for size; it also
+//! bounds coefficient magnitudes so they fit fixed-width storage (which
+//! keeps the byte→coefficient mapping stable under bit errors — a
+//! deliberate approximate-storage design choice: entropy-coded streams
+//! desynchronise on a single flipped bit).
+
+use crate::dct::BLOCK;
+
+/// The JPEG Annex K luminance quantisation table (row-major).
+pub const BASE_TABLE: [u16; BLOCK * BLOCK] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99, //
+];
+
+/// A quality-scaled quantisation table.
+#[derive(Debug, Clone)]
+pub struct QuantTable {
+    /// Divisors, row-major.
+    pub divisors: [u16; BLOCK * BLOCK],
+    /// Quality setting (1..=100) this table was built for.
+    pub quality: u8,
+}
+
+impl QuantTable {
+    /// Builds the table for a JPEG-style quality factor in `1..=100`
+    /// (50 = base table, 100 = near-lossless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is 0 or above 100.
+    pub fn for_quality(quality: u8) -> Self {
+        assert!((1..=100).contains(&quality), "quality must be 1..=100");
+        let scale: f64 = if quality < 50 {
+            5000.0 / quality as f64
+        } else {
+            200.0 - 2.0 * quality as f64
+        };
+        let mut divisors = [0u16; BLOCK * BLOCK];
+        for (d, &base) in divisors.iter_mut().zip(BASE_TABLE.iter()) {
+            let v = ((base as f64 * scale + 50.0) / 100.0).floor();
+            *d = v.clamp(1.0, 255.0) as u16;
+        }
+        QuantTable { divisors, quality }
+    }
+
+    /// Quantises a coefficient block (rounding to nearest).
+    pub fn quantise(&self, coeffs: &[f64; BLOCK * BLOCK]) -> [i16; BLOCK * BLOCK] {
+        let mut out = [0i16; BLOCK * BLOCK];
+        for i in 0..BLOCK * BLOCK {
+            let q = (coeffs[i] / self.divisors[i] as f64).round();
+            out[i] = q.clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+        }
+        out
+    }
+
+    /// Dequantises back to coefficient space.
+    pub fn dequantise(&self, quantised: &[i16; BLOCK * BLOCK]) -> [f64; BLOCK * BLOCK] {
+        let mut out = [0.0; BLOCK * BLOCK];
+        for i in 0..BLOCK * BLOCK {
+            out[i] = quantised[i] as f64 * self.divisors[i] as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_50_is_base_table() {
+        let t = QuantTable::for_quality(50);
+        assert_eq!(t.divisors, BASE_TABLE);
+    }
+
+    #[test]
+    fn higher_quality_divides_less() {
+        let low = QuantTable::for_quality(20);
+        let high = QuantTable::for_quality(90);
+        for i in 0..64 {
+            assert!(high.divisors[i] <= low.divisors[i], "index {i}");
+        }
+        // Quality 100 is all ones (near-lossless).
+        let max = QuantTable::for_quality(100);
+        assert!(max.divisors.iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn quantise_roundtrip_error_is_bounded() {
+        let t = QuantTable::for_quality(75);
+        let mut coeffs = [0.0f64; 64];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = (i as f64 - 32.0) * 7.3;
+        }
+        let q = t.quantise(&coeffs);
+        let back = t.dequantise(&q);
+        for i in 0..64 {
+            let err = (coeffs[i] - back[i]).abs();
+            assert!(
+                err <= t.divisors[i] as f64 / 2.0 + 1e-9,
+                "index {i}: error {err} exceeds half-divisor"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quality must be")]
+    fn zero_quality_panics() {
+        let _ = QuantTable::for_quality(0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Synthetic image generation.
+//!
+//! Real user photo collections are private data we cannot ship; these
+//! generators produce grayscale images with photo-like statistics
+//! (smooth gradients, object edges, texture noise) so codec and
+//! degradation experiments exercise realistic coefficient distributions.
+
+use crate::image::Image;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a photo-like grayscale test image.
+///
+/// Composition: a vertical illumination gradient, several random soft
+/// "objects" (filled ellipses at varying intensity), and mild sensor
+/// noise — enough structure for DCT energy compaction to behave as it
+/// does on photographs.
+pub fn synthetic_photo(width: usize, height: usize, seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pixels = vec![0u8; width * height];
+    // Background gradient.
+    for y in 0..height {
+        let base = 40.0 + 120.0 * (y as f64 / height.max(1) as f64);
+        for x in 0..width {
+            let tilt = 20.0 * (x as f64 / width.max(1) as f64);
+            pixels[y * width + x] = (base + tilt) as u8;
+        }
+    }
+    // Soft elliptical objects.
+    let objects = 3 + (rng.gen_range(0..5)) as usize;
+    for _ in 0..objects {
+        let cx = rng.gen_range(0..width.max(1)) as f64;
+        let cy = rng.gen_range(0..height.max(1)) as f64;
+        let rx = rng.gen_range(4.0..(width as f64 / 3.0).max(5.0));
+        let ry = rng.gen_range(4.0..(height as f64 / 3.0).max(5.0));
+        let level = rng.gen_range(30..225) as f64;
+        for y in 0..height {
+            for x in 0..width {
+                let dx = (x as f64 - cx) / rx;
+                let dy = (y as f64 - cy) / ry;
+                let d = dx * dx + dy * dy;
+                if d < 1.0 {
+                    let p = &mut pixels[y * width + x];
+                    // Soft edge: blend towards the object level.
+                    let blend = (1.0 - d).min(1.0);
+                    *p = ((*p as f64) * (1.0 - blend) + level * blend) as u8;
+                }
+            }
+        }
+    }
+    // Sensor noise.
+    for p in pixels.iter_mut() {
+        let noise: i16 = rng.gen_range(-4..=4);
+        *p = (*p as i16 + noise).clamp(0, 255) as u8;
+    }
+    Image::from_pixels(width, height, pixels)
+}
+
+/// Generates a flat image (worst case for degradation visibility).
+pub fn flat(width: usize, height: usize, level: u8) -> Image {
+    Image::from_pixels(width, height, vec![level; width * height])
+}
+
+/// Generates a high-detail checkerboard-with-noise texture (stress case
+/// for the codec's high-frequency coefficients).
+pub fn texture(width: usize, height: usize, seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pixels = vec![0u8; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let checker = if (x / 2 + y / 2) % 2 == 0 { 180 } else { 70 };
+            let noise: i16 = rng.gen_range(-30..=30);
+            pixels[y * width + x] = (checker + noise).clamp(0, 255) as u8;
+        }
+    }
+    Image::from_pixels(width, height, pixels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn photo_has_expected_dims_and_dynamic_range() {
+        let img = synthetic_photo(96, 64, 42);
+        assert_eq!((img.width(), img.height()), (96, 64));
+        let min = img.pixels().iter().copied().min().unwrap();
+        let max = img.pixels().iter().copied().max().unwrap();
+        assert!(max - min > 60, "dynamic range too small: {min}..{max}");
+    }
+
+    #[test]
+    fn photo_is_deterministic_per_seed() {
+        let a = synthetic_photo(32, 32, 7);
+        let b = synthetic_photo(32, 32, 7);
+        let c = synthetic_photo(32, 32, 8);
+        assert_eq!(a.pixels(), b.pixels());
+        assert_ne!(a.pixels(), c.pixels());
+    }
+
+    #[test]
+    fn flat_is_flat() {
+        let img = flat(16, 16, 128);
+        assert!(img.pixels().iter().all(|&p| p == 128));
+    }
+
+    #[test]
+    fn texture_has_high_frequency_content() {
+        let img = texture(64, 64, 1);
+        // Adjacent-pixel differences should be large on average.
+        let mut diff_sum = 0u64;
+        for y in 0..64 {
+            for x in 0..63 {
+                let a = img.pixels()[y * 64 + x] as i64;
+                let b = img.pixels()[y * 64 + x + 1] as i64;
+                diff_sum += (a - b).unsigned_abs();
+            }
+        }
+        let mean_diff = diff_sum as f64 / (64.0 * 63.0);
+        assert!(mean_diff > 20.0, "mean adjacent diff {mean_diff}");
+    }
+}

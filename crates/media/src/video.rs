@@ -1,0 +1,350 @@
+//! GOP-structured video model (I/P frames).
+//!
+//! "Error-tolerant frames, which compose most data in MPEG files, can be
+//! approximately stored over flash with low quality loss" (§4.2, citing
+//! AxFTL). This module reproduces that structure: I-frames are intra-
+//! coded (errors persist for the whole group of pictures), P-frames are
+//! coded as deltas against the previous reconstructed frame (errors decay
+//! at the next I-frame). The byte layout exposes which regions are
+//! critical (headers + I-frames) so SOS can map them onto protected
+//! storage.
+
+use crate::codec::{decode, CodecError, ImageCodec};
+use crate::image::Image;
+
+/// Kind of an encoded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Intra-coded frame: a standalone image (critical).
+    Intra,
+    /// Predicted frame: delta against the previous reconstruction
+    /// (error-tolerant).
+    Predicted,
+}
+
+/// One encoded frame.
+#[derive(Debug, Clone)]
+pub struct EncodedFrame {
+    /// Intra or predicted.
+    pub kind: FrameKind,
+    /// Encoded bytes (image codec stream; predicted frames encode the
+    /// delta shifted into `0..=255`).
+    pub bytes: Vec<u8>,
+    /// Protected-prefix suggestion for this frame (bytes).
+    pub protected_prefix: usize,
+}
+
+/// An encoded video: a sequence of frames with GOP structure.
+#[derive(Debug, Clone)]
+pub struct EncodedVideo {
+    /// The frames in display order.
+    pub frames: Vec<EncodedFrame>,
+    /// Frame width (pixels).
+    pub width: usize,
+    /// Frame height (pixels).
+    pub height: usize,
+}
+
+impl EncodedVideo {
+    /// Total encoded size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.frames.iter().map(|f| f.bytes.len()).sum()
+    }
+
+    /// Bytes that should live on protected storage: all of every I-frame
+    /// prefix plus every P-frame header.
+    pub fn critical_bytes(&self) -> usize {
+        self.frames.iter().map(|f| f.protected_prefix).sum()
+    }
+
+    /// Fraction of the stream that is error-tolerant.
+    pub fn tolerant_fraction(&self) -> f64 {
+        if self.total_bytes() == 0 {
+            return 0.0;
+        }
+        1.0 - self.critical_bytes() as f64 / self.total_bytes() as f64
+    }
+}
+
+/// Video codec configuration.
+#[derive(Debug, Clone)]
+pub struct VideoCodec {
+    image_codec: ImageCodec,
+    /// Group-of-pictures length: one I-frame every `gop` frames.
+    gop: usize,
+    /// Coefficient planes protected in I-frames.
+    intra_protected_planes: usize,
+}
+
+impl VideoCodec {
+    /// Creates a codec with an I-frame every `gop` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gop` is zero.
+    pub fn new(quality: u8, kept_coefficients: usize, gop: usize) -> Result<Self, CodecError> {
+        assert!(gop >= 1, "gop must be at least 1");
+        Ok(VideoCodec {
+            image_codec: ImageCodec::new(quality, kept_coefficients)?,
+            gop,
+            intra_protected_planes: 2,
+        })
+    }
+
+    /// Encodes a frame sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frames have inconsistent dimensions.
+    pub fn encode(&self, frames: &[Image]) -> Result<EncodedVideo, CodecError> {
+        let mut out = Vec::with_capacity(frames.len());
+        let (mut width, mut height) = (0, 0);
+        let mut reference: Option<Image> = None;
+        for (index, frame) in frames.iter().enumerate() {
+            if index == 0 {
+                width = frame.width();
+                height = frame.height();
+            } else {
+                assert_eq!(
+                    (frame.width(), frame.height()),
+                    (width, height),
+                    "all frames must share dimensions"
+                );
+            }
+            let is_intra = index % self.gop == 0;
+            if is_intra {
+                let encoded = self.image_codec.encode(frame)?;
+                let protected = encoded.protected_prefix(self.intra_protected_planes);
+                // The decoder's reference is the *reconstruction*, so
+                // drift does not accumulate.
+                reference = Some(decode(&encoded.bytes)?);
+                out.push(EncodedFrame {
+                    kind: FrameKind::Intra,
+                    bytes: encoded.bytes,
+                    protected_prefix: protected,
+                });
+            } else {
+                let prev = reference.as_ref().expect("P-frame requires a reference");
+                let delta = delta_image(prev, frame);
+                let encoded = self.image_codec.encode(&delta)?;
+                // Only the header needs protection in P-frames.
+                let protected = encoded.protected_prefix(0);
+                let decoded_delta = decode(&encoded.bytes)?;
+                reference = Some(apply_delta(prev, &decoded_delta));
+                out.push(EncodedFrame {
+                    kind: FrameKind::Predicted,
+                    bytes: encoded.bytes,
+                    protected_prefix: protected,
+                });
+            }
+        }
+        Ok(EncodedVideo {
+            frames: out,
+            width,
+            height,
+        })
+    }
+}
+
+/// Decodes a video back into frames (best effort under bit errors).
+///
+/// # Errors
+///
+/// Fails if any frame's header is corrupt — which is why headers belong
+/// on protected storage.
+pub fn decode_video(video: &EncodedVideo) -> Result<Vec<Image>, CodecError> {
+    let mut out = Vec::with_capacity(video.frames.len());
+    let mut reference: Option<Image> = None;
+    for frame in &video.frames {
+        let decoded = decode(&frame.bytes)?;
+        let reconstructed = match frame.kind {
+            FrameKind::Intra => decoded,
+            FrameKind::Predicted => {
+                let prev = reference.as_ref().ok_or(CodecError::HeaderCorrupt)?;
+                apply_delta(prev, &decoded)
+            }
+        };
+        reference = Some(reconstructed.clone());
+        out.push(reconstructed);
+    }
+    Ok(out)
+}
+
+/// Computes `current - reference`, shifted into `0..=255` (128 = zero).
+fn delta_image(reference: &Image, current: &Image) -> Image {
+    let pixels = reference
+        .pixels()
+        .iter()
+        .zip(current.pixels())
+        .map(|(&r, &c)| ((c as i16 - r as i16) / 2 + 128).clamp(0, 255) as u8)
+        .collect();
+    Image::from_pixels(reference.width(), reference.height(), pixels)
+}
+
+/// Applies a decoded delta to a reference frame.
+fn apply_delta(reference: &Image, delta: &Image) -> Image {
+    let pixels = reference
+        .pixels()
+        .iter()
+        .zip(delta.pixels())
+        .map(|(&r, &d)| (r as i16 + (d as i16 - 128) * 2).clamp(0, 255) as u8)
+        .collect();
+    Image::from_pixels(reference.width(), reference.height(), pixels)
+}
+
+/// Generates a synthetic "home video": a base scene with per-frame
+/// drifting illumination and object motion.
+pub fn synthetic_clip(width: usize, height: usize, frames: usize, seed: u64) -> Vec<Image> {
+    use crate::synth::synthetic_photo;
+    let base = synthetic_photo(width, height, seed);
+    (0..frames)
+        .map(|f| {
+            // Brightness drift plus a moving bright dot.
+            let drift = (f as f64 * 0.7).sin() * 6.0;
+            let dot_x = (f * 3) % width.max(1);
+            let dot_y = (f * 2) % height.max(1);
+            let mut pixels = base.pixels().to_vec();
+            for (i, p) in pixels.iter_mut().enumerate() {
+                let x = i % width;
+                let y = i / width;
+                let dx = x as i64 - dot_x as i64;
+                let dy = y as i64 - dot_y as i64;
+                let mut v = *p as f64 + drift;
+                if dx * dx + dy * dy < 20 {
+                    v += 60.0;
+                }
+                *p = v.clamp(0.0, 255.0) as u8;
+            }
+            Image::from_pixels(width, height, pixels)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::psnr;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clip() -> Vec<Image> {
+        synthetic_clip(48, 48, 12, 77)
+    }
+
+    fn damage(bytes: &mut [u8], skip: usize, count: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..count {
+            let b = rng.gen_range(skip..bytes.len());
+            bytes[b] ^= 1 << rng.gen_range(0..8);
+        }
+    }
+
+    fn mean_psnr(original: &[Image], decoded: &[Image]) -> f64 {
+        let sum: f64 = original
+            .iter()
+            .zip(decoded)
+            .map(|(a, b)| psnr(a, b).min(99.0))
+            .sum();
+        sum / original.len() as f64
+    }
+
+    #[test]
+    fn clean_roundtrip_quality() {
+        let frames = clip();
+        let codec = VideoCodec::new(75, 24, 4).unwrap();
+        let video = codec.encode(&frames).unwrap();
+        let decoded = decode_video(&video).unwrap();
+        assert_eq!(decoded.len(), frames.len());
+        let q = mean_psnr(&frames, &decoded);
+        assert!(q > 28.0, "clean video PSNR {q}");
+    }
+
+    #[test]
+    fn gop_structure_is_correct() {
+        let frames = clip();
+        let codec = VideoCodec::new(75, 20, 4).unwrap();
+        let video = codec.encode(&frames).unwrap();
+        for (i, frame) in video.frames.iter().enumerate() {
+            let expected = if i % 4 == 0 {
+                FrameKind::Intra
+            } else {
+                FrameKind::Predicted
+            };
+            assert_eq!(frame.kind, expected, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn most_bytes_are_error_tolerant() {
+        // The paper's premise: error-tolerant frames compose most of the
+        // stream.
+        let frames = clip();
+        let codec = VideoCodec::new(75, 20, 6).unwrap();
+        let video = codec.encode(&frames).unwrap();
+        assert!(
+            video.tolerant_fraction() > 0.6,
+            "tolerant fraction {}",
+            video.tolerant_fraction()
+        );
+    }
+
+    #[test]
+    fn p_frame_damage_is_less_harmful_than_i_frame_damage() {
+        let frames = clip();
+        let codec = VideoCodec::new(75, 24, 6).unwrap();
+        let clean = codec.encode(&frames).unwrap();
+
+        // Damage the coefficient region of the first I-frame.
+        let mut i_damaged = clean.clone();
+        let skip = i_damaged.frames[0].protected_prefix;
+        damage(&mut i_damaged.frames[0].bytes, skip, 60, 1);
+
+        // Damage a P-frame's coefficients with the same budget.
+        let mut p_damaged = clean.clone();
+        let skip = p_damaged.frames[2].protected_prefix.max(16);
+        damage(&mut p_damaged.frames[2].bytes, skip, 60, 2);
+
+        let qi = mean_psnr(&frames, &decode_video(&i_damaged).unwrap());
+        let qp = mean_psnr(&frames, &decode_video(&p_damaged).unwrap());
+        assert!(
+            qp > qi,
+            "P-frame damage ({qp} dB) should hurt less than I-frame damage ({qi} dB)"
+        );
+    }
+
+    #[test]
+    fn p_frame_errors_heal_at_next_i_frame() {
+        let frames = clip();
+        let codec = VideoCodec::new(75, 24, 4).unwrap();
+        let mut video = codec.encode(&frames).unwrap();
+        let skip = video.frames[1].protected_prefix.max(16);
+        damage(&mut video.frames[1].bytes, skip, 80, 3);
+        let decoded = decode_video(&video).unwrap();
+        // Frames 1-3 are affected; frame 4 starts a new GOP and is clean.
+        let damaged_psnr = psnr(&frames[1], &decoded[1]);
+        let healed_psnr = psnr(&frames[4], &decoded[4]);
+        assert!(
+            healed_psnr > damaged_psnr,
+            "healed {healed_psnr} vs damaged {damaged_psnr}"
+        );
+    }
+
+    #[test]
+    fn header_damage_is_fatal_and_detected() {
+        let frames = clip();
+        let codec = VideoCodec::new(75, 20, 4).unwrap();
+        let mut video = codec.encode(&frames).unwrap();
+        video.frames[0].bytes[3] ^= 0xFF;
+        assert_eq!(decode_video(&video).unwrap_err(), CodecError::HeaderCorrupt);
+    }
+
+    #[test]
+    fn critical_bytes_accounting() {
+        let frames = clip();
+        let codec = VideoCodec::new(75, 20, 4).unwrap();
+        let video = codec.encode(&frames).unwrap();
+        let sum: usize = video.frames.iter().map(|f| f.protected_prefix).sum();
+        assert_eq!(video.critical_bytes(), sum);
+        assert!(video.critical_bytes() < video.total_bytes());
+    }
+}

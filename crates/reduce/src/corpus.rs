@@ -1,0 +1,176 @@
+//! Device-level reduction corpora and reports (experiment E15).
+//!
+//! Builds a file population with a device's class mix, fills it with
+//! class-appropriate content and measures what compression and dedup
+//! actually reclaim — for a personal (media-heavy) device versus an
+//! enterprise-like (structured-data-heavy) mix.
+
+use crate::content::content_for;
+use crate::dedup::DedupStore;
+use crate::lz::compress;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sos_workload::{byte_share, FileClass};
+
+/// A byte-share mix over file classes.
+#[derive(Debug, Clone)]
+pub struct DeviceMix {
+    /// Label for reports.
+    pub name: String,
+    /// `(class, byte share)` — shares should sum to ~1.
+    pub shares: Vec<(FileClass, f64)>,
+}
+
+impl DeviceMix {
+    /// The personal-device mix from `sos-workload` (media > 50%).
+    pub fn personal() -> Self {
+        DeviceMix {
+            name: "personal (media-heavy)".to_string(),
+            shares: FileClass::ALL.iter().map(|&c| (c, byte_share(c))).collect(),
+        }
+    }
+
+    /// An enterprise-like mix: databases, documents and binaries
+    /// dominate; media is minor.
+    pub fn enterprise() -> Self {
+        DeviceMix {
+            name: "enterprise-like (structured-heavy)".to_string(),
+            shares: vec![
+                (FileClass::AppData, 0.40),
+                (FileClass::Document, 0.25),
+                (FileClass::AppBinary, 0.15),
+                (FileClass::Cache, 0.10),
+                (FileClass::PhotoCasual, 0.05),
+                (FileClass::VideoCasual, 0.05),
+            ],
+        }
+    }
+}
+
+/// Measured reduction for one class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassReduction {
+    /// The class.
+    pub class: FileClass,
+    /// Bytes generated.
+    pub bytes: u64,
+    /// Compression ratio (compressed/original).
+    pub compress_ratio: f64,
+    /// Dedup ratio (physical/logical).
+    pub dedup_ratio: f64,
+}
+
+/// Measures compression and dedup for one class over `files` files of
+/// `file_bytes` each.
+pub fn class_report(class: FileClass, files: u64, file_bytes: usize, seed: u64) -> ClassReduction {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = DedupStore::new();
+    let mut original = 0u64;
+    let mut compressed = 0u64;
+    for index in 0..files {
+        let id = rng.gen::<u32>() as u64 | (index << 32);
+        let data = content_for(class, id, file_bytes);
+        original += data.len() as u64;
+        compressed += compress(&data).len() as u64;
+        store.ingest(&data);
+    }
+    ClassReduction {
+        class,
+        bytes: original,
+        compress_ratio: compressed as f64 / original.max(1) as f64,
+        dedup_ratio: store.ratio(),
+    }
+}
+
+/// Device-level report: per-class reductions weighted by the mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Mix label.
+    pub name: String,
+    /// Per-class rows.
+    pub classes: Vec<ClassReduction>,
+    /// Mix-weighted compression ratio.
+    pub compress_ratio: f64,
+    /// Mix-weighted dedup ratio.
+    pub dedup_ratio: f64,
+    /// Combined (dedup then compress) reclaimed fraction, `1 - ratio`.
+    pub combined_saving: f64,
+}
+
+/// Runs a reduction report for a device mix.
+pub fn device_report(mix: &DeviceMix, files_per_class: u64, file_bytes: usize) -> DeviceReport {
+    let mut classes = Vec::new();
+    let mut compress_weighted = 0.0;
+    let mut dedup_weighted = 0.0;
+    let mut total_share = 0.0;
+    for (index, &(class, share)) in mix.shares.iter().enumerate() {
+        let row = class_report(class, files_per_class, file_bytes, 1000 + index as u64);
+        compress_weighted += share * row.compress_ratio;
+        dedup_weighted += share * row.dedup_ratio;
+        total_share += share;
+        classes.push(row);
+    }
+    let compress_ratio = compress_weighted / total_share;
+    let dedup_ratio = dedup_weighted / total_share;
+    // Approximate composition: dedup removes duplicate chunks first,
+    // compression then shrinks what remains.
+    let combined = dedup_ratio * compress_ratio;
+    DeviceReport {
+        name: mix.name.clone(),
+        classes,
+        compress_ratio,
+        dedup_ratio,
+        combined_saving: 1.0 - combined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn personal_mix_reduces_less_than_enterprise() {
+        // §5: data reduction is "less effective in personal storage".
+        let personal = device_report(&DeviceMix::personal(), 6, 24 * 1024);
+        let enterprise = device_report(&DeviceMix::enterprise(), 6, 24 * 1024);
+        assert!(
+            personal.combined_saving < enterprise.combined_saving,
+            "personal saves {:.2}, enterprise saves {:.2}",
+            personal.combined_saving,
+            enterprise.combined_saving
+        );
+        // And the gap is material, not marginal.
+        assert!(
+            enterprise.combined_saving - personal.combined_saving > 0.15,
+            "gap too small: {:.2} vs {:.2}",
+            enterprise.combined_saving,
+            personal.combined_saving
+        );
+    }
+
+    #[test]
+    fn media_classes_resist_compression() {
+        let report = class_report(FileClass::VideoCasual, 5, 24 * 1024, 3);
+        assert!(report.compress_ratio > 0.6, "{}", report.compress_ratio);
+    }
+
+    #[test]
+    fn database_class_compresses_hard() {
+        let report = class_report(FileClass::AppData, 5, 24 * 1024, 4);
+        assert!(report.compress_ratio < 0.3, "{}", report.compress_ratio);
+    }
+
+    #[test]
+    fn casual_media_dedups_a_little() {
+        // The meme pool gives casual media some duplicate bytes; at 150
+        // files (~12 duplicates over 4 memes) collisions are certain.
+        let report = class_report(FileClass::PhotoCasual, 150, 24 * 1024, 5);
+        assert!(
+            report.dedup_ratio < 0.99,
+            "expected some dedup, got {}",
+            report.dedup_ratio
+        );
+        assert!(report.dedup_ratio > 0.5, "{}", report.dedup_ratio);
+    }
+}

@@ -1,0 +1,25 @@
+//! # sos-reduce — data-reduction baselines (compression & dedup)
+//!
+//! §5 of *"Degrading Data to Save the Planet"* dismisses the obvious
+//! alternative to SOS: "Data reduction methods (e.g., compression) often
+//! used in enterprise storage are less effective in personal storage".
+//! This crate makes that claim measurable:
+//!
+//! * [`lz`] — an LZ77-style compressor (hash chains, LZ4-class effort),
+//! * [`dedup`] — gear-hash content-defined chunking with a
+//!   deduplicating store,
+//! * [`content`] — per-file-class content generators with realistic
+//!   statistics (media = real DCT codec output; databases = repetitive
+//!   records; binaries = mixed-entropy sections),
+//! * [`corpus`] — device-level corpora (personal vs enterprise-like
+//!   mixes) and the reduction report behind experiment E15.
+
+pub mod content;
+pub mod corpus;
+pub mod dedup;
+pub mod lz;
+
+pub use content::content_for;
+pub use corpus::{class_report, device_report, ClassReduction, DeviceMix};
+pub use dedup::{fingerprint, Chunker, DedupStore};
+pub use lz::{compress, decompress, ratio, LzError};

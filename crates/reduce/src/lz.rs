@@ -1,0 +1,284 @@
+//! LZ77-style compression (hash-chain matcher, byte-oriented token
+//! format).
+//!
+//! Implemented from scratch so the §5 "compression is less effective in
+//! personal storage" claim can be *measured* against realistic content,
+//! not asserted. The format favours simplicity over ratio: literal runs
+//! and back-references with varint lengths — comparable in spirit to
+//! LZ4, which is what lightweight mobile-storage compression schemes use
+//! (Ji et al., TECS '17).
+
+/// Minimum match length worth encoding.
+const MIN_MATCH: usize = 4;
+/// Maximum back-reference distance.
+const WINDOW: usize = 32 * 1024;
+/// Hash table size (power of two).
+const HASH_SIZE: usize = 1 << 15;
+/// Match-chain probe limit (compression effort).
+const MAX_CHAIN: usize = 32;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> 17) as usize & (HASH_SIZE - 1)
+}
+
+fn write_varint(out: &mut Vec<u8>, mut value: usize) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], cursor: &mut usize) -> Option<usize> {
+    let mut value = 0usize;
+    let mut shift = 0;
+    loop {
+        let byte = *data.get(*cursor)?;
+        *cursor += 1;
+        value |= ((byte & 0x7F) as usize) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 56 {
+            return None;
+        }
+    }
+}
+
+/// Compresses `input`. The output begins with the uncompressed length.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    write_varint(&mut out, input.len());
+    // Hash chains: head per bucket, prev per position.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; input.len()];
+    let mut literal_start = 0usize;
+    let mut position = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        if to > from {
+            // Token 0 = literal run.
+            write_varint(out, 0);
+            write_varint(out, to - from);
+            out.extend_from_slice(&input[from..to]);
+        }
+    };
+
+    while position + MIN_MATCH <= input.len() {
+        let bucket = hash4(&input[position..]);
+        // Find the best match among chained candidates.
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut candidate = head[bucket];
+        let mut probes = 0;
+        while candidate != usize::MAX && probes < MAX_CHAIN {
+            if position - candidate > WINDOW {
+                break;
+            }
+            let limit = input.len() - position;
+            let mut len = 0;
+            while len < limit && input[candidate + len] == input[position + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = position - candidate;
+            }
+            candidate = prev[candidate];
+            probes += 1;
+        }
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, position);
+            // Token 1 = match: distance, then length.
+            write_varint(&mut out, 1);
+            write_varint(&mut out, best_dist);
+            write_varint(&mut out, best_len);
+            // Insert the skipped positions into the chains.
+            let end = (position + best_len).min(input.len().saturating_sub(MIN_MATCH - 1));
+            let mut insert = position;
+            while insert < end {
+                let b = hash4(&input[insert..]);
+                prev[insert] = head[b];
+                head[b] = insert;
+                insert += 1;
+            }
+            position += best_len;
+            literal_start = position;
+        } else {
+            prev[position] = head[bucket];
+            head[bucket] = position;
+            position += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, input.len());
+    out
+}
+
+/// Decompression errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzError {
+    /// The stream ended mid-token.
+    Truncated,
+    /// A back-reference pointed before the start of the output.
+    BadReference,
+    /// Output length disagreed with the header.
+    LengthMismatch {
+        /// Declared length.
+        expected: usize,
+        /// Produced length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for LzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzError::Truncated => write!(f, "compressed stream truncated"),
+            LzError::BadReference => write!(f, "back-reference out of range"),
+            LzError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: header {expected}, produced {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LzError {}
+
+/// Decompresses a [`compress`] stream.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, LzError> {
+    let mut cursor = 0usize;
+    let expected = read_varint(data, &mut cursor).ok_or(LzError::Truncated)?;
+    let mut out = Vec::with_capacity(expected);
+    while cursor < data.len() {
+        let token = read_varint(data, &mut cursor).ok_or(LzError::Truncated)?;
+        match token {
+            0 => {
+                let len = read_varint(data, &mut cursor).ok_or(LzError::Truncated)?;
+                if cursor + len > data.len() {
+                    return Err(LzError::Truncated);
+                }
+                out.extend_from_slice(&data[cursor..cursor + len]);
+                cursor += len;
+            }
+            1 => {
+                let dist = read_varint(data, &mut cursor).ok_or(LzError::Truncated)?;
+                let len = read_varint(data, &mut cursor).ok_or(LzError::Truncated)?;
+                if dist == 0 || dist > out.len() {
+                    return Err(LzError::BadReference);
+                }
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+            _ => return Err(LzError::Truncated),
+        }
+    }
+    if out.len() != expected {
+        return Err(LzError::LengthMismatch {
+            expected,
+            got: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Compression ratio: `compressed / original` (1.0 = incompressible,
+/// smaller = better).
+pub fn ratio(input: &[u8]) -> f64 {
+    if input.is_empty() {
+        return 1.0;
+    }
+    compress(input).len() as f64 / input.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_empty_and_small() {
+        for input in [&b""[..], b"a", b"abcd", b"aaaaaaa"] {
+            let compressed = compress(input);
+            assert_eq!(decompress(&compressed).unwrap(), input);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_compresses_hard() {
+        let input: Vec<u8> = b"the quick brown fox ".repeat(500);
+        let r = ratio(&input);
+        assert!(r < 0.1, "ratio {r}");
+        assert_eq!(decompress(&compress(&input)).unwrap(), input);
+    }
+
+    #[test]
+    fn random_data_does_not_compress() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let input: Vec<u8> = (0..20_000).map(|_| rng.gen()).collect();
+        let r = ratio(&input);
+        assert!(r > 0.98, "ratio {r}");
+        assert_eq!(decompress(&compress(&input)).unwrap(), input);
+    }
+
+    #[test]
+    fn overlapping_matches_roundtrip() {
+        // RLE-style overlap: match distance 1.
+        let mut input = vec![7u8];
+        input.extend(std::iter::repeat(7u8).take(1000));
+        input.extend(b"tail");
+        assert_eq!(decompress(&compress(&input)).unwrap(), input);
+    }
+
+    #[test]
+    fn structured_records_compress_moderately() {
+        let mut input = Vec::new();
+        for i in 0..500u32 {
+            input.extend_from_slice(format!("record:{i:08},status=ok,flags=0x00;").as_bytes());
+        }
+        let r = ratio(&input);
+        assert!(r < 0.4, "ratio {r}");
+    }
+
+    #[test]
+    fn corrupted_streams_fail_cleanly() {
+        let input = b"hello hello hello hello hello".to_vec();
+        let compressed = compress(&input);
+        // Truncation.
+        assert!(decompress(&compressed[..compressed.len() - 3]).is_err());
+        // Garbage.
+        assert!(decompress(&[0xFF, 0xFF, 0xFF]).is_err());
+    }
+
+    #[test]
+    fn fuzz_roundtrip_mixed_content() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let len = rng.gen_range(0..8000);
+            let mut input = Vec::with_capacity(len);
+            while input.len() < len {
+                if rng.gen_bool(0.5) {
+                    // Repetitive span.
+                    let byte: u8 = rng.gen();
+                    let run = rng.gen_range(1..200);
+                    input.extend(std::iter::repeat(byte).take(run));
+                } else {
+                    let run = rng.gen_range(1..200);
+                    input.extend((0..run).map(|_| rng.gen::<u8>()));
+                }
+            }
+            input.truncate(len);
+            assert_eq!(decompress(&compress(&input)).unwrap(), input);
+        }
+    }
+}

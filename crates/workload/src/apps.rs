@@ -1,0 +1,153 @@
+//! Per-application write behaviour (§2.3.2's app-level argument).
+//!
+//! Zhang et al. (MobiSys '19 — the paper's ref. 38) frame device wear in
+//! terms of *apps*: most write modestly, a few ("playing Final Fantasy
+//! for 9 hours daily") could wear a device out but nobody runs them long
+//! enough. This module provides per-app write profiles that compose into
+//! the daily budget used by [`DeviceLife`](crate::device_life::DeviceLife),
+//! plus the wear arithmetic the paper's argument rests on.
+
+use crate::filetypes::FileClass;
+use serde::{Deserialize, Serialize};
+
+/// One application's storage behaviour.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Bytes written per hour of active use.
+    pub write_bytes_per_hour: u64,
+    /// File class the app's writes mostly create/update.
+    pub class: FileClass,
+    /// Typical active hours per day for an ordinary user.
+    pub typical_hours_per_day: f64,
+}
+
+/// A small catalogue of representative apps, calibrated to the per-app
+/// write rates reported by Zhang et al.
+pub fn catalogue() -> Vec<AppProfile> {
+    vec![
+        AppProfile {
+            name: "camera",
+            write_bytes_per_hour: 600 << 20, // bursts of photos/video
+            class: FileClass::PhotoPersonal,
+            typical_hours_per_day: 0.2,
+        },
+        AppProfile {
+            name: "messaging",
+            write_bytes_per_hour: 40 << 20,
+            class: FileClass::AppData,
+            typical_hours_per_day: 1.5,
+        },
+        AppProfile {
+            name: "social-feed",
+            write_bytes_per_hour: 150 << 20, // cache churn
+            class: FileClass::Cache,
+            typical_hours_per_day: 1.0,
+        },
+        AppProfile {
+            name: "music-streaming",
+            write_bytes_per_hour: 80 << 20,
+            class: FileClass::Audio,
+            typical_hours_per_day: 1.0,
+        },
+        AppProfile {
+            name: "video-streaming",
+            write_bytes_per_hour: 250 << 20,
+            class: FileClass::Cache,
+            typical_hours_per_day: 1.2,
+        },
+        AppProfile {
+            name: "heavy-game",
+            // The paper's worst case: state/journal churn at a rate
+            // that *could* wear flash if someone played all day (Zhang
+            // et al. measured multi-GB/hour pathological writers).
+            write_bytes_per_hour: 4 << 30,
+            class: FileClass::AppData,
+            typical_hours_per_day: 0.3,
+        },
+    ]
+}
+
+/// Daily write volume of a usage pattern: `(app, hours/day)` pairs.
+pub fn daily_write_bytes(pattern: &[(&AppProfile, f64)]) -> u64 {
+    pattern
+        .iter()
+        .map(|(app, hours)| (app.write_bytes_per_hour as f64 * hours) as u64)
+        .sum()
+}
+
+/// Years to wear out a device of `capacity_bytes` with `endurance_pec`
+/// program/erase cycles, writing `daily_bytes` per day at
+/// `write_amplification`.
+pub fn years_to_wear_out(
+    capacity_bytes: u64,
+    endurance_pec: u32,
+    daily_bytes: u64,
+    write_amplification: f64,
+) -> f64 {
+    let total_writable = capacity_bytes as f64 * endurance_pec as f64;
+    let daily_physical = daily_bytes as f64 * write_amplification;
+    total_writable / daily_physical / 365.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn typical_usage_wears_slowly() {
+        // §2.3.2: under typical usage the flash outlives the phone by an
+        // order of magnitude.
+        let apps = catalogue();
+        let pattern: Vec<(&AppProfile, f64)> = apps
+            .iter()
+            .map(|app| (app, app.typical_hours_per_day))
+            .collect();
+        let daily = daily_write_bytes(&pattern);
+        // A typical day lands in single-digit GB.
+        assert!(
+            (500 * (1 << 20)..20 * GIB).contains(&daily),
+            "daily bytes {daily}"
+        );
+        let years = years_to_wear_out(128 * GIB, 3000, daily, 2.0);
+        assert!(years > 25.0, "TLC phone wears out in {years:.0} years");
+    }
+
+    #[test]
+    fn the_final_fantasy_case_really_could_wear_plc() {
+        // §2.3.2 / §4.5: a write-intensive app played all day is the
+        // only realistic wear-out path — and PLC makes it ~6x closer.
+        let apps = catalogue();
+        let game = apps.iter().find(|a| a.name == "heavy-game").unwrap();
+        let daily = daily_write_bytes(&[(game, 9.0)]);
+        let tlc_years = years_to_wear_out(128 * GIB, 3000, daily, 2.0);
+        let plc_years = years_to_wear_out(128 * GIB, 500, daily, 2.0);
+        assert!(plc_years < tlc_years / 5.0);
+        assert!(
+            plc_years < 3.0,
+            "9h/day gaming must threaten PLC within a device life ({plc_years:.1} y)"
+        );
+        assert!(
+            tlc_years > 5.0,
+            "TLC still outlives the warranty ({tlc_years:.1} y)"
+        );
+    }
+
+    #[test]
+    fn wear_scales_inversely_with_traffic() {
+        let slow = years_to_wear_out(64 * GIB, 1000, 1 * GIB, 2.0);
+        let fast = years_to_wear_out(64 * GIB, 1000, 4 * GIB, 2.0);
+        assert!((slow / fast - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn catalogue_covers_write_hot_and_media_classes() {
+        let apps = catalogue();
+        assert!(apps.iter().any(|a| a.class == FileClass::AppData));
+        assert!(apps.iter().any(|a| a.class.is_media()));
+        assert!(apps.iter().any(|a| a.class == FileClass::Cache));
+    }
+}

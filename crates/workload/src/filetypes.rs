@@ -1,0 +1,279 @@
+//! File classes and their statistical properties on personal devices.
+//!
+//! The class mix is calibrated to the studies the paper cites (refs
+//! 66–68): media files comprise over half of mobile storage bytes, are
+//! read-dominant and rarely updated, while app state (databases, caches)
+//! is small but write-hot.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Classes of files found on personal devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FileClass {
+    /// Operating-system files: critical, read-mostly.
+    OsSystem,
+    /// Application binaries and libraries: critical, read-mostly.
+    AppBinary,
+    /// Application databases and settings: critical, write-hot.
+    AppData,
+    /// Caches and temporaries: expendable, write-hot.
+    Cache,
+    /// User documents: significant, occasionally updated.
+    Document,
+    /// Personally-significant photos (family, milestones).
+    PhotoPersonal,
+    /// Casual photos (screenshots, memes, duplicates).
+    PhotoCasual,
+    /// Personally-significant video.
+    VideoPersonal,
+    /// Casual video (downloads, forwarded clips).
+    VideoCasual,
+    /// Music and podcasts (re-downloadable).
+    Audio,
+}
+
+impl FileClass {
+    /// All classes.
+    pub const ALL: [FileClass; 10] = [
+        FileClass::OsSystem,
+        FileClass::AppBinary,
+        FileClass::AppData,
+        FileClass::Cache,
+        FileClass::Document,
+        FileClass::PhotoPersonal,
+        FileClass::PhotoCasual,
+        FileClass::VideoPersonal,
+        FileClass::VideoCasual,
+        FileClass::Audio,
+    ];
+
+    /// Whether the class is media (image/video/audio payloads).
+    pub fn is_media(self) -> bool {
+        matches!(
+            self,
+            FileClass::PhotoPersonal
+                | FileClass::PhotoCasual
+                | FileClass::VideoPersonal
+                | FileClass::VideoCasual
+                | FileClass::Audio
+        )
+    }
+
+    /// Ground-truth error tolerance in `[0, 1]`: how much quality
+    /// degradation the content survives (1 = fully tolerant).
+    ///
+    /// System/app/document bytes are intolerant (a flipped bit corrupts
+    /// structure); transform-coded media is tolerant (§4.2).
+    pub fn error_tolerance(self) -> f64 {
+        match self {
+            FileClass::OsSystem | FileClass::AppBinary | FileClass::AppData => 0.0,
+            FileClass::Document => 0.05,
+            FileClass::Cache => 0.3,
+            FileClass::PhotoPersonal | FileClass::VideoPersonal => 0.8,
+            FileClass::PhotoCasual | FileClass::VideoCasual => 0.9,
+            FileClass::Audio => 0.85,
+        }
+    }
+
+    /// Ground-truth distribution parameter for personal significance in
+    /// `[0, 1]`: probability-weighted importance to the user. Individual
+    /// files draw around this mean.
+    pub fn significance_mean(self) -> f64 {
+        match self {
+            FileClass::OsSystem | FileClass::AppBinary | FileClass::AppData => 1.0,
+            FileClass::Document => 0.8,
+            FileClass::PhotoPersonal | FileClass::VideoPersonal => 0.85,
+            FileClass::PhotoCasual | FileClass::VideoCasual => 0.2,
+            FileClass::Audio => 0.25,
+            FileClass::Cache => 0.02,
+        }
+    }
+
+    /// Median file size in bytes (log-normal median).
+    pub fn median_size(self) -> u64 {
+        match self {
+            FileClass::OsSystem => 512 << 10,
+            FileClass::AppBinary => 8 << 20,
+            FileClass::AppData => 256 << 10,
+            FileClass::Cache => 64 << 10,
+            FileClass::Document => 128 << 10,
+            FileClass::PhotoPersonal | FileClass::PhotoCasual => 3 << 20,
+            FileClass::VideoPersonal | FileClass::VideoCasual => 80 << 20,
+            FileClass::Audio => 6 << 20,
+        }
+    }
+
+    /// Log-normal sigma of the size distribution (in ln-space).
+    pub fn size_sigma(self) -> f64 {
+        match self {
+            FileClass::VideoPersonal | FileClass::VideoCasual => 1.2,
+            FileClass::AppBinary => 1.0,
+            _ => 0.8,
+        }
+    }
+
+    /// Typical file-extension string for the class (used by feature
+    /// extraction in the classifier).
+    pub fn typical_extension(self) -> &'static str {
+        match self {
+            FileClass::OsSystem => "so",
+            FileClass::AppBinary => "apk",
+            FileClass::AppData => "db",
+            FileClass::Cache => "tmp",
+            FileClass::Document => "pdf",
+            FileClass::PhotoPersonal | FileClass::PhotoCasual => "jpg",
+            FileClass::VideoPersonal | FileClass::VideoCasual => "mp4",
+            FileClass::Audio => "mp3",
+        }
+    }
+
+    /// Typical directory prefix for the class.
+    pub fn typical_path(self) -> &'static str {
+        match self {
+            FileClass::OsSystem => "/system/lib",
+            FileClass::AppBinary => "/data/app",
+            FileClass::AppData => "/data/data",
+            FileClass::Cache => "/data/cache",
+            FileClass::Document => "/sdcard/Documents",
+            FileClass::PhotoPersonal | FileClass::PhotoCasual => "/sdcard/DCIM",
+            FileClass::VideoPersonal | FileClass::VideoCasual => "/sdcard/Movies",
+            FileClass::Audio => "/sdcard/Music",
+        }
+    }
+
+    /// Samples a file size from the class's log-normal distribution.
+    pub fn sample_size<R: Rng + ?Sized>(self, rng: &mut R) -> u64 {
+        let mu = (self.median_size() as f64).ln();
+        let sigma = self.size_sigma();
+        // Box-Muller normal.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mu + sigma * z)
+            .exp()
+            .clamp(1024.0, 4.0 * 1024.0 * 1024.0 * 1024.0) as u64
+    }
+}
+
+/// Byte-share of each class in a typical full device, calibrated so
+/// media holds ~60% of bytes (paper refs 66–68).
+pub fn byte_share(class: FileClass) -> f64 {
+    match class {
+        FileClass::OsSystem => 0.06,
+        FileClass::AppBinary => 0.12,
+        FileClass::AppData => 0.05,
+        FileClass::Cache => 0.07,
+        FileClass::Document => 0.04,
+        FileClass::PhotoPersonal => 0.08,
+        FileClass::PhotoCasual => 0.14,
+        FileClass::VideoPersonal => 0.08,
+        FileClass::VideoCasual => 0.24,
+        FileClass::Audio => 0.12,
+    }
+}
+
+/// Metadata for one generated file (ground truth for classification and
+/// placement experiments).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// Unique file identifier.
+    pub id: u64,
+    /// Generating class (ground truth; classifiers must not peek).
+    pub class: FileClass,
+    /// Size in bytes.
+    pub size: u64,
+    /// Simulated creation day.
+    pub created_day: f64,
+    /// Simulated day of last access.
+    pub last_access_day: f64,
+    /// Total accesses so far.
+    pub access_count: u64,
+    /// Total in-place updates so far.
+    pub update_count: u64,
+    /// Per-file personal significance in `[0, 1]` (drawn around the
+    /// class mean).
+    pub significance: f64,
+    /// Path string, e.g. `/sdcard/DCIM/IMG_0042.jpg`.
+    pub path: String,
+}
+
+impl FileMeta {
+    /// Ground-truth label for SOS placement: should this file live on
+    /// the degradable SPARE partition?
+    ///
+    /// True when the content tolerates errors *and* the user would accept
+    /// quality loss (low significance). Mirrors §4.2's two-factor
+    /// classification (system functionality + user preference).
+    pub fn ground_truth_spare(&self) -> bool {
+        self.class.error_tolerance() >= 0.3 && self.significance < 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn byte_shares_sum_to_one() {
+        let total: f64 = FileClass::ALL.iter().map(|&c| byte_share(c)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn media_holds_majority_of_bytes() {
+        // Paper refs 66-68: media comprise over half of mobile data.
+        let media: f64 = FileClass::ALL
+            .iter()
+            .filter(|c| c.is_media())
+            .map(|&c| byte_share(c))
+            .sum();
+        assert!(media > 0.5, "media share {media}");
+    }
+
+    #[test]
+    fn critical_classes_are_intolerant() {
+        assert_eq!(FileClass::OsSystem.error_tolerance(), 0.0);
+        assert_eq!(FileClass::AppData.error_tolerance(), 0.0);
+        assert!(FileClass::PhotoCasual.error_tolerance() > 0.5);
+    }
+
+    #[test]
+    fn sampled_sizes_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for class in FileClass::ALL {
+            let sizes: Vec<u64> = (0..200).map(|_| class.sample_size(&mut rng)).collect();
+            let median = {
+                let mut s = sizes.clone();
+                s.sort_unstable();
+                s[100]
+            };
+            let expected = class.median_size();
+            let ratio = median as f64 / expected as f64;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{class:?}: median {median} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_spare_follows_two_factors() {
+        let mk = |class: FileClass, significance: f64| FileMeta {
+            id: 0,
+            class,
+            size: 1,
+            created_day: 0.0,
+            last_access_day: 0.0,
+            access_count: 0,
+            update_count: 0,
+            significance,
+            path: String::new(),
+        };
+        assert!(mk(FileClass::PhotoCasual, 0.1).ground_truth_spare());
+        assert!(!mk(FileClass::PhotoCasual, 0.9).ground_truth_spare());
+        assert!(!mk(FileClass::AppData, 0.1).ground_truth_spare());
+    }
+}

@@ -1,0 +1,25 @@
+//! # sos-workload — personal-device workload generation
+//!
+//! Synthetic-but-calibrated stand-in for the private smartphone traces
+//! the SOS paper builds on (Zhang et al. MobiSys '19; refs 66–68):
+//!
+//! * [`filetypes`] — file classes with realistic byte shares (media >50%
+//!   of resident bytes), size distributions, update/read behaviour, and
+//!   ground-truth error-tolerance / significance labels,
+//! * [`zipf`] — skewed access sampling,
+//! * [`device_life`] — a day-by-day multi-year generator with usage
+//!   profiles from light use to the paper's worst-case "9 hours of Final
+//!   Fantasy daily",
+//! * [`trace`] — the operation records consumed by the storage stack.
+
+pub mod apps;
+pub mod device_life;
+pub mod filetypes;
+pub mod trace;
+pub mod zipf;
+
+pub use apps::{catalogue, daily_write_bytes, years_to_wear_out, AppProfile};
+pub use device_life::{DeviceLife, UsageProfile, WorkloadConfig};
+pub use filetypes::{byte_share, FileClass, FileMeta};
+pub use trace::{DayTrace, TraceOp};
+pub use zipf::Zipf;

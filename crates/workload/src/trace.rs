@@ -1,0 +1,100 @@
+//! Trace records: the operation stream a workload produces.
+
+use crate::filetypes::FileClass;
+use serde::{Deserialize, Serialize};
+
+/// One workload operation against the storage stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// Create a new file.
+    Create {
+        /// File identifier.
+        file: u64,
+        /// Generating class.
+        class: FileClass,
+        /// Size in bytes.
+        bytes: u64,
+    },
+    /// Update (rewrite) part of an existing file in place.
+    Update {
+        /// File identifier.
+        file: u64,
+        /// Bytes rewritten.
+        bytes: u64,
+    },
+    /// Read part or all of a file.
+    Read {
+        /// File identifier.
+        file: u64,
+        /// Bytes read.
+        bytes: u64,
+    },
+    /// Delete a file.
+    Delete {
+        /// File identifier.
+        file: u64,
+    },
+}
+
+impl TraceOp {
+    /// Bytes written to storage by this operation.
+    pub fn write_bytes(&self) -> u64 {
+        match *self {
+            TraceOp::Create { bytes, .. } | TraceOp::Update { bytes, .. } => bytes,
+            _ => 0,
+        }
+    }
+
+    /// Bytes read from storage by this operation.
+    pub fn read_bytes(&self) -> u64 {
+        match *self {
+            TraceOp::Read { bytes, .. } => bytes,
+            _ => 0,
+        }
+    }
+}
+
+/// A day's worth of operations plus summary counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DayTrace {
+    /// Simulated day index.
+    pub day: u32,
+    /// The operations, in issue order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl DayTrace {
+    /// Total bytes written during the day.
+    pub fn write_bytes(&self) -> u64 {
+        self.ops.iter().map(TraceOp::write_bytes).sum()
+    }
+
+    /// Total bytes read during the day.
+    pub fn read_bytes(&self) -> u64 {
+        self.ops.iter().map(TraceOp::read_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        let trace = DayTrace {
+            day: 1,
+            ops: vec![
+                TraceOp::Create {
+                    file: 1,
+                    class: FileClass::PhotoCasual,
+                    bytes: 100,
+                },
+                TraceOp::Update { file: 1, bytes: 50 },
+                TraceOp::Read { file: 1, bytes: 70 },
+                TraceOp::Delete { file: 1 },
+            ],
+        };
+        assert_eq!(trace.write_bytes(), 150);
+        assert_eq!(trace.read_bytes(), 70);
+    }
+}

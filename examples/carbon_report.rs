@@ -1,0 +1,72 @@
+//! Prints the paper's carbon arithmetic, recomputed (§1, §3, §4.1).
+//!
+//! Run with: `cargo run -p sos-examples --bin carbon_report`
+
+use sos_carbon::{
+    all_claims, design_comparison, format_claims, market_2020, personal_share, project,
+    CarbonPricing, EmbodiedModel, ProjectionConfig,
+};
+
+fn main() {
+    println!("== Flash carbon footprint: the paper's numbers, recomputed ==\n");
+
+    // Figure 1: market mix.
+    println!("Figure 1 — flash market share by device type (2020):");
+    for slice in market_2020() {
+        println!(
+            "  {:<12} {:>5.1}%  (device life {:>4.1} y, flash life {:>4.1} y, gap {:>4.1}x)",
+            format!("{:?}", slice.category),
+            slice.share * 100.0,
+            slice.device_life_years,
+            slice.flash_life_years,
+            slice.flash_life_years / slice.device_life_years,
+        );
+    }
+    println!(
+        "  personal devices (phone+tablet): {:.0}% of flash bits\n",
+        personal_share(&market_2020()) * 100.0
+    );
+
+    // §1/§3 projection.
+    println!("Production emissions projection (2021 -> 2030):");
+    println!(
+        "  {:<6} {:>12} {:>10} {:>12} {:>14}",
+        "year", "EB produced", "kg/GB", "Mt CO2e", "people-equiv"
+    );
+    for year in project(&ProjectionConfig::paper_baseline(), 2030) {
+        println!(
+            "  {:<6} {:>12.0} {:>10.3} {:>12.1} {:>12.1}M",
+            year.year,
+            year.production_eb,
+            year.kg_per_gb,
+            year.emissions_mt,
+            year.people_equivalents_m
+        );
+    }
+
+    // §3 pricing.
+    let pricing = CarbonPricing::paper_2023();
+    println!(
+        "\nCarbon pricing: ${:.0}/t x {:.2} kg/GB = ${:.2}/TB = {:.0}% of ${:.0}/TB QLC",
+        pricing.usd_per_tonne,
+        pricing.kg_per_gb,
+        pricing.carbon_usd_per_tb(),
+        pricing.price_uplift() * 100.0,
+        pricing.flash_usd_per_tb
+    );
+
+    // §4 design comparison.
+    println!("\nDesign comparison (embodied kgCO2e per exported GB):");
+    for design in design_comparison(&EmbodiedModel::default(), 0.5) {
+        println!(
+            "  {:<28} {:>8.4} kg/GB  ({:>5.1}% of TLC)",
+            design.name,
+            design.kg_per_gb,
+            design.vs_tlc * 100.0
+        );
+    }
+
+    // Claim-by-claim reproduction.
+    println!("\nClaim reproduction table:");
+    println!("{}", format_claims(&all_claims()));
+}

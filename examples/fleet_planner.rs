@@ -1,0 +1,59 @@
+//! Fleet planner: what does switching personal-device production to SOS
+//! save at global scale? (§1's exponential-growth argument + §4's
+//! design, combined.)
+//!
+//! Run with: `cargo run -p sos-examples --bin fleet_planner [spare_fraction]`
+
+use sos_carbon::{
+    market_2020, personal_share, project, sos_fleet_saving, EmbodiedModel, ProjectionConfig,
+};
+use sos_flash::density::split_device_bits_per_cell;
+use sos_flash::{CellDensity, ProgramMode};
+
+fn main() {
+    let spare_fraction: f64 = std::env::args()
+        .nth(1)
+        .and_then(|arg| arg.parse::<f64>().ok())
+        .unwrap_or(0.5)
+        .clamp(0.0, 1.0);
+    let model = EmbodiedModel::default();
+    let personal = personal_share(&market_2020());
+    let spare = ProgramMode::native(CellDensity::Plc);
+    let sys = ProgramMode::pseudo(CellDensity::Plc, CellDensity::Qlc);
+    let bits = split_device_bits_per_cell(spare_fraction, spare, sys);
+
+    println!("== SOS fleet planner ==");
+    println!(
+        "split: {:.0}% PLC SPARE / {:.0}% pseudo-QLC SYS -> {:.2} bits/cell ({:+.1}% vs TLC)\n",
+        spare_fraction * 100.0,
+        (1.0 - spare_fraction) * 100.0,
+        bits,
+        (bits / 3.0 - 1.0) * 100.0
+    );
+    println!(
+        "  {:<6} {:>12} {:>14} {:>14} {:>14}",
+        "year", "EB produced", "baseline Mt", "with SOS Mt", "saved Mt"
+    );
+    let mut cumulative = 0.0;
+    for year in project(&ProjectionConfig::paper_baseline(), 2030) {
+        let (baseline, sos) =
+            sos_fleet_saving(&model, year.production_eb, personal, spare_fraction);
+        // Non-personal production is unchanged.
+        let other = year.emissions_mt - baseline;
+        let with_sos = other + sos;
+        cumulative += year.emissions_mt - with_sos;
+        println!(
+            "  {:<6} {:>12.0} {:>14.1} {:>14.1} {:>14.1}",
+            year.year,
+            year.production_eb,
+            year.emissions_mt,
+            with_sos,
+            year.emissions_mt - with_sos
+        );
+    }
+    println!(
+        "\ncumulative 2021-2030 saving: {:.0} Mt CO2e (~{:.1}M people-years at world-average emissions)",
+        cumulative,
+        cumulative / 4.4
+    );
+}

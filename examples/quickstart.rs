@@ -1,0 +1,112 @@
+//! Quickstart: the Figure 2 walk-through.
+//!
+//! Creates an SOS device, writes a critical document and a casual photo,
+//! lets the classifier daemon demote the photo to the degradable SPARE
+//! partition, ages the device, and reads everything back.
+//!
+//! Run with: `cargo run -p sos-examples --bin quickstart`
+
+use sos_classify::{multi_user_corpus, Classifier, FeatureExtractor, LogisticRegression};
+use sos_classify::{Daemon, DaemonConfig};
+use sos_core::{ObjectStore, Partition, SosConfig, SosDevice};
+use sos_media::{decode, psnr, synthetic_photo, ImageCodec};
+use sos_workload::{FileClass, FileMeta};
+
+fn main() {
+    println!("== SOS quickstart: host-device co-design in five steps ==\n");
+
+    // 1. Build the split device: PLC silicon, half pseudo-QLC (SYS),
+    //    half native PLC (SPARE).
+    let mut device = SosDevice::new(&SosConfig::small(7));
+    println!(
+        "device: {:.1} MiB exported ({} B SYS-page)",
+        device.capacity_bytes() as f64 / (1 << 20) as f64,
+        device.partition(Partition::Sys).page_bytes(),
+    );
+
+    // 2. Train the §4.4 classifier on a multi-user corpus.
+    let extractor = FeatureExtractor::default();
+    let corpus = multi_user_corpus(&extractor, 2, 42);
+    let mut model = LogisticRegression::default();
+    model.train(&corpus.features, &corpus.labels);
+    let daemon = Daemon::new(model, extractor, DaemonConfig::default());
+    println!("classifier: trained on {} labelled files", corpus.len());
+
+    // 3. New data lands on SYS (pseudo-QLC) first.
+    let codec = ImageCodec::default_photo();
+    let photo = synthetic_photo(96, 96, 1234);
+    let encoded = codec.encode(&photo).expect("encodes");
+    let document = b"tax return 2025 - keep forever".to_vec();
+    device.put(1, &document, Partition::Sys).expect("space");
+    device
+        .put(2, &encoded.bytes, Partition::Sys)
+        .expect("space");
+    println!(
+        "wrote: document ({} B), photo ({} B) -> SYS",
+        document.len(),
+        encoded.len()
+    );
+
+    // 4. The daemon reviews file metadata and demotes the casual photo.
+    let files = [
+        FileMeta {
+            id: 1,
+            class: FileClass::Document,
+            size: document.len() as u64,
+            created_day: 0.0,
+            last_access_day: 20.0,
+            access_count: 14,
+            update_count: 3,
+            significance: 0.9,
+            path: "/sdcard/Documents/f000001.pdf".into(),
+        },
+        FileMeta {
+            id: 2,
+            class: FileClass::PhotoCasual,
+            size: 3 << 20,
+            created_day: 0.0,
+            last_access_day: 1.0,
+            access_count: 1,
+            update_count: 0,
+            significance: 0.05,
+            path: "/sdcard/DCIM/f000002.jpg".into(),
+        },
+    ];
+    for decision in daemon.deletion_recommendations(files.iter(), 60.0) {
+        println!(
+            "auto-delete candidate: file {} (score {:.1})",
+            decision.0, decision.1
+        );
+    }
+    for meta in &files {
+        let decision = daemon.classify(meta, 60.0);
+        println!(
+            "classify {}: spare-probability {:.2} -> {:?}",
+            meta.path, decision.spare_probability, decision.placement
+        );
+        if decision.placement == sos_classify::Placement::Spare {
+            device.migrate(meta.id, Partition::Spare).expect("migrates");
+        }
+    }
+    println!(
+        "placements: document -> {:?}, photo -> {:?}",
+        device.placement(1).unwrap(),
+        device.placement(2).unwrap()
+    );
+
+    // 5. Age the device two years and read everything back.
+    device.advance_days(730.0);
+    let _ = device.maintain();
+    let doc = device.get(1).expect("document readable");
+    assert_eq!(doc.bytes, document, "SYS data must be exact");
+    let got = device.get(2).expect("photo readable");
+    match decode(&got.bytes) {
+        Ok(decoded) => println!(
+            "after 2 years: document intact; photo status {:?}, PSNR {:.1} dB",
+            got.status,
+            psnr(&photo, &decoded)
+        ),
+        Err(e) => println!("after 2 years: photo undecodable ({e})"),
+    }
+    println!("\nquickstart complete.");
+}

@@ -1,0 +1,67 @@
+//! Host-managed SOS via standard interfaces (§4.3).
+//!
+//! The paper offers two integration paths besides custom firmware:
+//! multi-stream/zoned placement and UFS LUNs. This demo drives both —
+//! a ZNS-style layout with per-zone densities, and the UFS facade with
+//! its enhanced/degradable units and dynamic capacity.
+//!
+//! Run with: `cargo run -p sos-examples --bin zoned_layout`
+
+use sos_core::UfsDevice;
+use sos_ecc::EccScheme;
+use sos_flash::{CellDensity, DeviceConfig, ProgramMode};
+use sos_ftl::ZonedDevice;
+
+fn main() {
+    println!("== Path 1: ZNS-style zones with per-zone densities ==");
+    let mut zoned = ZonedDevice::new(
+        &DeviceConfig::tiny(CellDensity::Plc),
+        4,
+        EccScheme::Bch { t: 18 },
+    );
+    // The host lays out SOS itself: even zones pseudo-QLC (SYS-class),
+    // odd zones native PLC (SPARE-class).
+    for zone in 0..zoned.zone_count() {
+        let mode = if zone % 2 == 0 {
+            Some(ProgramMode::pseudo(CellDensity::Plc, CellDensity::Qlc))
+        } else {
+            None
+        };
+        zoned.reset(zone, mode).expect("reset");
+    }
+    let page = vec![0xB5u8; zoned.page_bytes()];
+    zoned.append(0, &page).expect("SYS-class append");
+    zoned.append(1, &page).expect("SPARE-class append");
+    println!(
+        "zone 0: {} ({} pages) | zone 1: {} ({} pages)",
+        zoned.zone_mode(0).unwrap(),
+        zoned.zone_capacity(0).unwrap(),
+        zoned.zone_mode(1).unwrap(),
+        zoned.zone_capacity(1).unwrap(),
+    );
+    println!(
+        "write pointers after one append each: {} / {}",
+        zoned.write_pointer(0).unwrap(),
+        zoned.write_pointer(1).unwrap()
+    );
+
+    println!("\n== Path 2: UFS LUNs with reliability classes ==");
+    let mut ufs = UfsDevice::new(&DeviceConfig::tiny(CellDensity::Plc));
+    for lun in ufs.luns() {
+        println!(
+            "LUN {}: {:?}, {} blocks x {} B",
+            lun.lun, lun.reliability, lun.capacity_blocks, lun.block_bytes
+        );
+    }
+    let block = vec![0x42u8; ufs.luns()[0].block_bytes as usize];
+    ufs.write(0, 0, &block).expect("enhanced write");
+    ufs.write(1, 0, &block).expect("degradable write");
+    ufs.background(30.0).expect("maintenance");
+    let attentions = ufs.take_attentions();
+    println!(
+        "after 30 days of background maintenance: {} unit attention(s)",
+        attentions.len()
+    );
+    println!("\nboth paths expose the same SOS trade: durable pseudo-QLC units");
+    println!("beside degradable native-PLC units, on one die.");
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration: the zoned interface as a SOS substrate —
+//! host-managed placement with per-zone densities (§4.3's alternative to
+//! the FTL path).
+
+use sos_ecc::EccScheme;
+use sos_flash::{CellDensity, DeviceConfig, ProgramMode};
+use sos_ftl::{ZoneState, ZonedDevice};
+use sos_media::{decode, psnr, synthetic_photo, ImageCodec};
+
+fn device() -> ZonedDevice {
+    ZonedDevice::new(
+        &DeviceConfig::tiny(CellDensity::Plc).with_seed(19),
+        4,
+        EccScheme::PrioritySplit {
+            t: 18,
+            protected_chunks: 1,
+        },
+    )
+}
+
+fn store_photo(device: &mut ZonedDevice, zone: u32, bytes: &[u8]) -> u64 {
+    let page_bytes = device.page_bytes();
+    let pages = bytes.len().div_ceil(page_bytes);
+    for chunk in bytes.chunks(page_bytes) {
+        let mut page = vec![0u8; page_bytes];
+        page[..chunk.len()].copy_from_slice(chunk);
+        device.append(zone, &page).expect("append");
+    }
+    pages as u64
+}
+
+fn load_photo(device: &mut ZonedDevice, zone: u32, pages: u64, len: usize) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for offset in 0..pages {
+        bytes.extend_from_slice(&device.read(zone, offset).expect("read").data);
+    }
+    bytes.truncate(len);
+    bytes
+}
+
+#[test]
+fn sos_style_zone_layout_sys_and_spare() {
+    // Host builds the SOS layout itself: zone 0 reset to pseudo-QLC
+    // (SYS), zone 1 stays native PLC (SPARE).
+    let mut device = device();
+    device
+        .reset(
+            0,
+            Some(ProgramMode::pseudo(CellDensity::Plc, CellDensity::Qlc)),
+        )
+        .expect("reset SYS zone");
+    device.reset(1, None).expect("reset SPARE zone");
+    assert!(device.zone_capacity(0).unwrap() < device.zone_capacity(1).unwrap());
+
+    let image = synthetic_photo(96, 96, 5);
+    let encoded = ImageCodec::default_photo().encode(&image).expect("encodes");
+    let critical = b"contacts.db: do not degrade".to_vec();
+
+    // Critical bytes into the pseudo-QLC zone; the photo into PLC.
+    let mut sys_page = vec![0u8; device.page_bytes()];
+    sys_page[..critical.len()].copy_from_slice(&critical);
+    device.append(0, &sys_page).expect("SYS append");
+    let photo_pages = store_photo(&mut device, 1, &encoded.bytes);
+
+    // Two simulated years later...
+    device.advance_days(730.0);
+    let sys_back = device.read(0, 0).expect("SYS read");
+    assert_eq!(
+        &sys_back.data[..critical.len()],
+        critical.as_slice(),
+        "SYS zone must be exact"
+    );
+    let photo_back = load_photo(&mut device, 1, photo_pages, encoded.len());
+    let quality = match decode(&photo_back) {
+        Ok(img) => psnr(&image, &img),
+        Err(_) => 0.0,
+    };
+    assert!(quality > 20.0, "SPARE photo unviewable: {quality} dB");
+}
+
+#[test]
+fn zone_lifecycle_walk() {
+    let mut device = device();
+    assert_eq!(device.zone_state(2).unwrap(), ZoneState::Empty);
+    let page = vec![0x42u8; device.page_bytes()];
+    device.append(2, &page).unwrap();
+    assert_eq!(device.zone_state(2).unwrap(), ZoneState::Open);
+    device.finish(2).unwrap();
+    assert_eq!(device.zone_state(2).unwrap(), ZoneState::Full);
+    device.reset(2, None).unwrap();
+    assert_eq!(device.zone_state(2).unwrap(), ZoneState::Empty);
+    assert_eq!(device.write_pointer(2).unwrap(), 0);
+}
+
+#[test]
+fn worn_zone_steps_down_the_density_ladder() {
+    // The §4.3 resuscitation idea, host-driven: cycle a zone hard, then
+    // re-open it at pseudo-TLC where fresh data still fits the budget.
+    let mut device = device();
+    let page = vec![0x17u8; device.page_bytes()];
+    for _ in 0..120 {
+        while device.append(3, &page).is_ok() {}
+        device.reset(3, None).expect("reset during wear");
+    }
+    // Step down to pseudo-TLC.
+    device
+        .reset(
+            3,
+            Some(ProgramMode::pseudo(CellDensity::Plc, CellDensity::Tlc)),
+        )
+        .expect("re-mode");
+    device.append(3, &page).expect("worn zone serves writes");
+    device.advance_days(180.0);
+    let back = device.read(3, 0).expect("read");
+    // Pseudo-TLC margins keep even a 120-cycle zone clean at 6 months.
+    assert_eq!(back.data, page, "pseudo-TLC data must be exact");
+}
