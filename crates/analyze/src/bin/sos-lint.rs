@@ -1,0 +1,36 @@
+//! Repo-specific lint runner: `cargo run -p sos-analyze --bin sos-lint`.
+//!
+//! Scans the workspace's crate sources for violations of the project
+//! rules (see [`sos_analyze::lint`]) and exits non-zero when any are
+//! found, so CI and `scripts/check.sh` can gate on it. An optional
+//! first argument overrides the workspace root.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    // The binary lives in crates/analyze; the workspace root is two up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let findings = sos_analyze::run_lints(&root);
+    if findings.is_empty() {
+        println!("sos-lint: clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!("sos-lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,199 @@
+//! Audited harnesses: per-operation FTL auditing for tests and
+//! interval auditing for long simulations.
+//!
+//! [`AuditedFtl`] wraps an [`Ftl`] and re-audits the full state after
+//! every mutating operation; with the `audit` feature disabled the
+//! wrapper compiles down to plain forwarding. [`run_audited_days`]
+//! drives an [`SosController`] for a number of simulated days, auditing
+//! the whole device at a configurable day interval — cheap enough to
+//! leave on in long experiments.
+
+use crate::auditors::{FtlAuditorSet, PlacementAuditor};
+use crate::{StateAuditor, Violation};
+use sos_classify::Classifier;
+use sos_core::{CoreState, SosController, SosDevice};
+use sos_ftl::{Ftl, FtlError, ReadResult, ScrubReport, StreamId};
+
+/// A violation tagged with the state it was found in (`"sys"`,
+/// `"spare"`, `"core"`, or `"ftl"` for a bare [`AuditedFtl`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditFinding {
+    /// Which snapshot the violation was found in.
+    pub source: &'static str,
+    /// The violation itself.
+    pub violation: Violation,
+}
+
+impl std::fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.source, self.violation)
+    }
+}
+
+/// All auditors needed for a whole SOS device: one FTL set per
+/// partition plus the placement/parity rules.
+#[derive(Debug, Default)]
+pub struct CoreAuditorSet {
+    sys: FtlAuditorSet,
+    spare: FtlAuditorSet,
+    placement: PlacementAuditor,
+}
+
+impl CoreAuditorSet {
+    /// A fresh set with no snapshot history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Audits one device snapshot, tagging violations by partition.
+    pub fn audit(&mut self, state: &CoreState) -> Vec<AuditFinding> {
+        let mut findings: Vec<AuditFinding> = self
+            .sys
+            .audit(&state.sys)
+            .into_iter()
+            .map(|violation| AuditFinding {
+                source: "sys",
+                violation,
+            })
+            .collect();
+        findings.extend(
+            self.spare
+                .audit(&state.spare)
+                .into_iter()
+                .map(|violation| AuditFinding {
+                    source: "spare",
+                    violation,
+                }),
+        );
+        findings.extend(
+            self.placement
+                .audit(state)
+                .into_iter()
+                .map(|violation| AuditFinding {
+                    source: "core",
+                    violation,
+                }),
+        );
+        findings
+    }
+}
+
+/// An FTL wrapper that audits the complete state after every operation.
+///
+/// Intended for tests: violations accumulate in [`AuditedFtl::violations`]
+/// instead of panicking, so a test decides how strictly to react. With
+/// the `audit` feature disabled the per-operation checks vanish.
+#[derive(Debug)]
+pub struct AuditedFtl {
+    ftl: Ftl,
+    #[cfg(feature = "audit")]
+    auditors: FtlAuditorSet,
+    /// Violations found so far, in operation order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditedFtl {
+    /// Wraps an FTL, auditing its (clean) initial state.
+    pub fn new(ftl: Ftl) -> Self {
+        let mut audited = AuditedFtl {
+            ftl,
+            #[cfg(feature = "audit")]
+            auditors: FtlAuditorSet::new(),
+            violations: Vec::new(),
+        };
+        audited.check();
+        audited
+    }
+
+    fn check(&mut self) {
+        #[cfg(feature = "audit")]
+        {
+            let state = self.ftl.audit_snapshot();
+            self.violations.extend(self.auditors.audit(&state));
+        }
+    }
+
+    /// Read access to the wrapped FTL.
+    pub fn inner(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// Unwraps back into the plain FTL, discarding audit state.
+    pub fn into_inner(self) -> Ftl {
+        self.ftl
+    }
+
+    /// Drains the violations collected so far.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// [`Ftl::write`], followed by a full audit.
+    pub fn write(&mut self, lpn: u64, data: &[u8]) -> Result<f64, FtlError> {
+        let result = self.ftl.write(lpn, data);
+        self.check();
+        result
+    }
+
+    /// [`Ftl::write_stream`], followed by a full audit.
+    pub fn write_stream(
+        &mut self,
+        lpn: u64,
+        data: &[u8],
+        stream: StreamId,
+    ) -> Result<f64, FtlError> {
+        let result = self.ftl.write_stream(lpn, data, stream);
+        self.check();
+        result
+    }
+
+    /// [`Ftl::read`], followed by a full audit (reads mutate statistics
+    /// and can surface lost data).
+    pub fn read(&mut self, lpn: u64) -> Result<ReadResult, FtlError> {
+        let result = self.ftl.read(lpn);
+        self.check();
+        result
+    }
+
+    /// [`Ftl::trim`], followed by a full audit.
+    pub fn trim(&mut self, lpn: u64) -> Result<(), FtlError> {
+        let result = self.ftl.trim(lpn);
+        self.check();
+        result
+    }
+
+    /// [`Ftl::scrub`], followed by a full audit.
+    pub fn scrub(&mut self) -> Result<ScrubReport, FtlError> {
+        let result = self.ftl.scrub();
+        self.check();
+        result
+    }
+
+    /// [`Ftl::advance_days`] (no audit needed: time alone moves no
+    /// mapping state, only the error clock).
+    pub fn advance_days(&mut self, days: f64) {
+        self.ftl.advance_days(days);
+    }
+}
+
+/// Runs an SOS-device simulation for `days`, auditing the whole device
+/// every `interval_days` (0 audits only at the end). Returns all tagged
+/// findings; a healthy run returns an empty vector.
+pub fn run_audited_days<C: Classifier>(
+    controller: &mut SosController<SosDevice, C>,
+    days: u64,
+    interval_days: u64,
+) -> Vec<AuditFinding> {
+    let mut auditors = CoreAuditorSet::new();
+    let mut findings = Vec::new();
+    for day in 1..=days {
+        controller.run_day();
+        if interval_days != 0 && day.is_multiple_of(interval_days) {
+            findings.extend(auditors.audit(&controller.device.audit_snapshot()));
+        }
+    }
+    if interval_days == 0 || days == 0 || !days.is_multiple_of(interval_days) {
+        findings.extend(auditors.audit(&controller.device.audit_snapshot()));
+    }
+    findings
+}

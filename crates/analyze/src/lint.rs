@@ -1,0 +1,555 @@
+//! A repo-specific lint runner over the workspace sources.
+//!
+//! The build environment has no registry access, so instead of a parser
+//! dependency this is a token-level scanner: sources are cleaned of
+//! comments and string literals (so text inside them cannot trip a
+//! rule), `#[cfg(test)]` regions are tracked by brace depth, and the
+//! rules below run on what remains.
+//!
+//! Rules:
+//!
+//! * **no-unwrap** — `.unwrap()` / `.expect(` are banned in non-test
+//!   code of the storage stack (`sos-flash`, `sos-ftl`, `sos-core`,
+//!   `sos-hostfs`): the simulator must degrade, not abort.
+//! * **no-f32** — carbon accounting (`sos-carbon`) must stay in `f64`;
+//!   embodied-carbon sums are small differences of large numbers.
+//! * **pub-docs** — every `pub` item in `sos-core` and `sos-ftl`
+//!   carries a doc comment.
+//! * **no-sleep** — simulated time is advanced explicitly
+//!   (`advance_days`); `std::thread::sleep` never belongs in simulation
+//!   code.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code must be free of `.unwrap()` / `.expect(`.
+const NO_UNWRAP_CRATES: &[&str] = &["flash", "ftl", "core", "hostfs"];
+/// Crates whose accounting paths must not use `f32`.
+const NO_F32_CRATES: &[&str] = &["carbon"];
+/// Crates whose public API must be fully documented.
+const DOC_CRATES: &[&str] = &["core", "ftl"];
+
+/// One lint rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// File the finding is in (relative to the workspace root).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// A source file prepared for linting: raw lines for doc-comment
+/// detection, cleaned lines (comments and literals blanked) for token
+/// rules, and a per-line in-test flag.
+struct PreparedFile {
+    raw: Vec<String>,
+    cleaned: Vec<String>,
+    in_test: Vec<bool>,
+}
+
+/// Scanner states for source cleaning.
+#[derive(Clone, Copy, PartialEq)]
+enum ScanState {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Blanks comments and string/char literals, preserving line structure.
+/// Doc comments (`///`, `//!`) survive into the cleaned text so the
+/// pub-docs rule can see them; their bodies are blanked like any other
+/// comment.
+fn clean_source(source: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut state = ScanState::Normal;
+    for line in source.lines() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut cleaned = String::with_capacity(chars.len());
+        let mut i = 0usize;
+        if state == ScanState::LineComment {
+            state = ScanState::Normal;
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                ScanState::Normal => match c {
+                    '/' if next == Some('/') => {
+                        // Preserve the doc-comment marker itself.
+                        let third = chars.get(i + 2).copied();
+                        if third == Some('/') || third == Some('!') {
+                            cleaned.push_str("//");
+                            cleaned.push(third.unwrap_or('/'));
+                        }
+                        state = ScanState::LineComment;
+                        i = chars.len();
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = ScanState::BlockComment(1);
+                        cleaned.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = ScanState::Str;
+                        cleaned.push(' ');
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        let (hashes, consumed) = raw_string_open(&chars, i);
+                        state = ScanState::RawStr(hashes);
+                        for _ in 0..consumed {
+                            cleaned.push(' ');
+                        }
+                        i += consumed;
+                        continue;
+                    }
+                    '\'' => {
+                        if is_char_literal(&chars, i) {
+                            state = ScanState::Char;
+                        }
+                        cleaned.push(if is_char_literal(&chars, i) {
+                            ' '
+                        } else {
+                            '\''
+                        });
+                    }
+                    _ => cleaned.push(c),
+                },
+                ScanState::LineComment => {
+                    i = chars.len();
+                    continue;
+                }
+                ScanState::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            ScanState::Normal
+                        } else {
+                            ScanState::BlockComment(depth - 1)
+                        };
+                        cleaned.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = ScanState::BlockComment(depth + 1);
+                        cleaned.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    cleaned.push(' ');
+                }
+                ScanState::Str => {
+                    if c == '\\' {
+                        cleaned.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        state = ScanState::Normal;
+                    }
+                    cleaned.push(' ');
+                }
+                ScanState::RawStr(hashes) => {
+                    if c == '"' && closes_raw_string(&chars, i, hashes) {
+                        state = ScanState::Normal;
+                        for _ in 0..=hashes as usize {
+                            cleaned.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                    cleaned.push(' ');
+                }
+                ScanState::Char => {
+                    if c == '\\' {
+                        cleaned.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '\'' {
+                        state = ScanState::Normal;
+                    }
+                    cleaned.push(' ');
+                }
+            }
+            i += 1;
+        }
+        out.push(cleaned);
+    }
+    out
+}
+
+/// Does `r"`, `r#"`, `br"`, … start at `i`?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"') && (i == 0 || !is_ident_char(chars[i - 1]))
+}
+
+/// Returns (hash count, chars consumed) for a raw-string opener at `i`.
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the 'r'
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    (hashes, j - i)
+}
+
+/// Does a closing `"` at `i` terminate a raw string with `hashes` hashes?
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal from a lifetime at a `'` in position `i`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks each line as inside or outside a `#[cfg(test)]` region by
+/// tracking brace depth from the attribute's item.
+fn mark_test_regions(cleaned: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; cleaned.len()];
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    // (depth to return to, whether the region's opening brace was seen)
+    let mut region: Option<(i64, bool)> = None;
+    for (idx, line) in cleaned.iter().enumerate() {
+        let trimmed = line.trim();
+        if region.is_none() {
+            if trimmed.starts_with("#[cfg(test)]") {
+                pending = true;
+                in_test[idx] = true;
+            } else if pending {
+                in_test[idx] = true;
+                if trimmed.starts_with("#[") {
+                    // Further attributes between cfg(test) and the item.
+                } else if !trimmed.is_empty() {
+                    if line.contains('{') {
+                        region = Some((depth, false));
+                        pending = false;
+                    } else if trimmed.ends_with(';') {
+                        // Single-line item (e.g. a cfg-gated `use`).
+                        pending = false;
+                    }
+                }
+            }
+        } else {
+            in_test[idx] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some((_, opened)) = region.as_mut() {
+                        *opened = true;
+                    }
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some((return_depth, opened)) = region {
+            in_test[idx] = true;
+            if opened && depth <= return_depth {
+                region = None;
+            }
+        }
+    }
+    in_test
+}
+
+fn prepare(source: &str) -> PreparedFile {
+    let raw: Vec<String> = source.lines().map(str::to_string).collect();
+    let cleaned = clean_source(source);
+    let in_test = mark_test_regions(&cleaned);
+    PreparedFile {
+        raw,
+        cleaned,
+        in_test,
+    }
+}
+
+/// Does `needle` occur in `haystack` as a standalone token (not inside
+/// a longer identifier)?
+fn has_token(haystack: &str, needle: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let begin = start + pos;
+        let end = begin + needle.len();
+        let before_ok = begin == 0 || !is_ident_char(bytes[begin - 1] as char);
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end] as char);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// Keywords that begin a documentable `pub` item.
+const PUB_ITEM_STARTS: &[&str] = &[
+    "pub fn ",
+    "pub async fn ",
+    "pub unsafe fn ",
+    "pub const fn ",
+    "pub struct ",
+    "pub enum ",
+    "pub trait ",
+    "pub mod ",
+    "pub const ",
+    "pub static ",
+    "pub type ",
+    "pub union ",
+];
+
+/// Is the raw line at `idx` preceded by a doc comment (allowing
+/// attribute lines in between)?
+fn has_doc_comment(raw: &[String], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let trimmed = raw[i].trim();
+        if trimmed.starts_with("#[") || trimmed.starts_with(')') || trimmed.starts_with(']') {
+            continue;
+        }
+        return trimmed.starts_with("///") || trimmed.starts_with("//!");
+    }
+    false
+}
+
+fn lint_file(relative: &Path, prepared: &PreparedFile, findings: &mut Vec<LintFinding>) {
+    let crate_name = relative
+        .components()
+        .nth(1)
+        .map(|c| c.as_os_str().to_string_lossy().to_string())
+        .unwrap_or_default();
+    let check_unwrap = NO_UNWRAP_CRATES.contains(&crate_name.as_str());
+    let check_f32 = NO_F32_CRATES.contains(&crate_name.as_str());
+    let check_docs = DOC_CRATES.contains(&crate_name.as_str());
+    for (idx, line) in prepared.cleaned.iter().enumerate() {
+        if prepared.in_test[idx] {
+            continue;
+        }
+        let number = idx + 1;
+        if check_unwrap {
+            if line.contains(".unwrap()") {
+                findings.push(LintFinding {
+                    file: relative.to_path_buf(),
+                    line: number,
+                    rule: "no-unwrap",
+                    message: ".unwrap() in non-test storage-stack code".to_string(),
+                });
+            }
+            if line.contains(".expect(") {
+                findings.push(LintFinding {
+                    file: relative.to_path_buf(),
+                    line: number,
+                    rule: "no-unwrap",
+                    message: ".expect() in non-test storage-stack code".to_string(),
+                });
+            }
+        }
+        if check_f32 && has_token(line, "f32") {
+            findings.push(LintFinding {
+                file: relative.to_path_buf(),
+                line: number,
+                rule: "no-f32",
+                message: "f32 in carbon accounting (use f64)".to_string(),
+            });
+        }
+        if line.contains("thread::sleep") {
+            findings.push(LintFinding {
+                file: relative.to_path_buf(),
+                line: number,
+                rule: "no-sleep",
+                message: "std::thread::sleep in simulation code".to_string(),
+            });
+        }
+        if check_docs {
+            let trimmed = line.trim_start();
+            let is_pub_item = PUB_ITEM_STARTS
+                .iter()
+                .any(|start| trimmed.starts_with(start));
+            // `pub mod name;` re-declares an external module whose docs
+            // live as `//!` inside its own file; only inline modules
+            // need a doc comment at the declaration.
+            let external_mod = trimmed.starts_with("pub mod ") && trimmed.trim_end().ends_with(';');
+            if is_pub_item && !external_mod && !has_doc_comment(&prepared.raw, idx) {
+                findings.push(LintFinding {
+                    file: relative.to_path_buf(),
+                    line: number,
+                    rule: "pub-docs",
+                    message: format!(
+                        "undocumented public item: {}",
+                        trimmed.split('{').next().unwrap_or(trimmed).trim()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rust_files(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs every lint rule over `root/crates/*/src`, returning findings
+/// sorted by file and line. An empty vector means the tree is clean.
+pub fn run_lints(root: &Path) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates_dir) else {
+        return findings;
+    };
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        let mut files = Vec::new();
+        collect_rust_files(&src, &mut files);
+        for file in files {
+            let Ok(source) = fs::read_to_string(&file) else {
+                continue;
+            };
+            let relative = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            let prepared = prepare(&source);
+            lint_file(&relative, &prepared, &mut findings);
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prepared(src: &str) -> PreparedFile {
+        prepare(src)
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let p = prepared("let x = \".unwrap()\"; // .unwrap()\n");
+        assert!(!p.cleaned[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn doc_markers_survive_cleaning() {
+        let p = prepared("/// docs here\npub fn f() {}\n");
+        assert!(p.cleaned[0].trim_start().starts_with("///"));
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let p = prepared(src);
+        assert!(!p.in_test[0]);
+        assert!(p.in_test[1] && p.in_test[2] && p.in_test[3] && p.in_test[4]);
+        assert!(!p.in_test[5]);
+    }
+
+    #[test]
+    fn unwrap_rule_fires_outside_tests_only() {
+        let src =
+            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let p = prepared(src);
+        let mut findings = Vec::new();
+        lint_file(Path::new("crates/ftl/src/x.rs"), &p, &mut findings);
+        let unwraps: Vec<_> = findings.iter().filter(|f| f.rule == "no-unwrap").collect();
+        assert_eq!(unwraps.len(), 1);
+        assert_eq!(unwraps[0].line, 1);
+    }
+
+    #[test]
+    fn f32_token_matching_is_exact() {
+        assert!(has_token("let x: f32 = 0.0;", "f32"));
+        assert!(!has_token("let x = my_f32_thing;", "f32"));
+        assert!(!has_token("let x: f64 = 0.0;", "f32"));
+    }
+
+    #[test]
+    fn pub_docs_rule_requires_doc_comment() {
+        let src = "/// documented\npub fn good() {}\npub fn bad() {}\n";
+        let p = prepared(src);
+        let mut findings = Vec::new();
+        lint_file(Path::new("crates/core/src/x.rs"), &p, &mut findings);
+        let docs: Vec<_> = findings.iter().filter(|f| f.rule == "pub-docs").collect();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].line, 3);
+    }
+
+    #[test]
+    fn attributes_between_doc_and_item_are_allowed() {
+        let src = "/// documented\n#[derive(Debug)]\npub struct S;\n";
+        let p = prepared(src);
+        let mut findings = Vec::new();
+        lint_file(Path::new("crates/core/src/x.rs"), &p, &mut findings);
+        assert!(findings.iter().all(|f| f.rule != "pub-docs"));
+    }
+}

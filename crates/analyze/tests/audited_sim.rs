@@ -1,0 +1,29 @@
+//! End-to-end: a real controller-driven simulation runs under interval
+//! auditing without tripping any invariant.
+
+use sos_analyze::harness::run_audited_days;
+use sos_classify::{multi_user_corpus, Classifier, FeatureExtractor, LogisticRegression};
+use sos_core::{CloudConfig, ControllerConfig, ObjectStore, SosConfig, SosController, SosDevice};
+use sos_workload::{DeviceLife, UsageProfile, WorkloadConfig};
+
+#[test]
+fn audited_simulation_run_is_clean() {
+    let extractor = FeatureExtractor::default();
+    let corpus = multi_user_corpus(&extractor, 1, 3);
+    let mut model = LogisticRegression::default();
+    model.train(&corpus.features, &corpus.labels);
+    let device = SosDevice::new(&SosConfig::tiny(11));
+    let capacity = device.capacity_bytes();
+    let life = DeviceLife::new(WorkloadConfig::phone(capacity, UsageProfile::Typical, 11));
+    let mut controller = SosController::new(
+        device,
+        model,
+        extractor,
+        life,
+        CloudConfig::none(),
+        ControllerConfig::default(),
+    );
+    let findings = run_audited_days(&mut controller, 6, 2);
+    assert_eq!(findings, vec![], "invariant violations in a benign run");
+    assert!(controller.stats.creates > 0, "workload generated nothing");
+}

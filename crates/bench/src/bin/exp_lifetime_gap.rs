@@ -24,7 +24,7 @@ fn run(profile: UsageProfile, days: u32) -> (f64, f64) {
                     }
                 }
                 TraceOp::Update { file, bytes } => {
-                    let data = vec![0x44u8; bytes.min(1 << 20).max(4096) as usize];
+                    let data = vec![0x44u8; bytes.clamp(4096, 1 << 20) as usize];
                     let _ = device.update(file, &data);
                 }
                 TraceOp::Read { .. } => {} // reads do not wear flash

@@ -54,6 +54,7 @@ impl EnergyModel {
     /// `daily_read_bytes` / `daily_write_bytes` are host traffic;
     /// `write_amplification` scales physical programs (and the
     /// proportional erases); `days` is the device life.
+    #[allow(clippy::too_many_arguments)]
     pub fn lifetime_kwh(
         &self,
         timing: &TimingModel,

@@ -55,6 +55,9 @@ fn best_split(
     let total = indices.len();
     let mut best: Option<(usize, f64, f64)> = None;
     let mut best_imbalance = usize::MAX;
+    // `features` is row-major: the loop variable selects a column inside
+    // each row, so there is no slice to iterate directly.
+    #[allow(clippy::needless_range_loop)]
     for feature in 0..dims {
         // Sort candidate values.
         let mut values: Vec<(f64, bool)> = indices

@@ -108,7 +108,9 @@ impl ObjectStore for BaselineDevice {
             .read_object(&info.lpns, info.len)
             .map_err(Self::storage_error)?;
         if read.status == ObjectStatus::PartiallyLost && !info.damaged {
-            self.objects.get_mut(&id).expect("present").damaged = true;
+            if let Some(entry) = self.objects.get_mut(&id) {
+                entry.damaged = true;
+            }
             self.counters.objects_damaged += 1;
         }
         self.counters.bytes_read += read.bytes.len() as u64;
@@ -134,7 +136,7 @@ impl ObjectStore for BaselineDevice {
         self.store
             .free_object(&info.lpns)
             .map_err(Self::storage_error)?;
-        let entry = self.objects.get_mut(&id).expect("present");
+        let entry = self.objects.get_mut(&id).ok_or(ObjectError::NotFound(id))?;
         entry.lpns = new_lpns;
         self.counters.live_bytes = self.counters.live_bytes + bytes.len() as u64 - entry.len as u64;
         entry.len = bytes.len();

@@ -131,11 +131,14 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
     /// else gets sized pseudo-random bytes.
     fn content_for(&mut self, id: ObjectId, class: FileClass, bytes: u64) -> Vec<u8> {
         let is_photo = matches!(class, FileClass::PhotoCasual | FileClass::PhotoPersonal);
-        if is_photo && id % self.config.media_sample_rate == 0 {
+        if is_photo && id.is_multiple_of(self.config.media_sample_rate) {
             let image = synthetic_photo(96, 96, id ^ 0xFACE);
-            let encoded = self.codec.encode(&image).expect("96x96 encodes");
-            self.originals.insert(id, image);
-            return encoded.bytes;
+            // Encoding a 96x96 synthetic photo cannot fail; if it somehow
+            // does, fall through to filler bytes instead of panicking.
+            if let Ok(encoded) = self.codec.encode(&image) {
+                self.originals.insert(id, image);
+                return encoded.bytes;
+            }
         }
         // Deterministic filler of the nominal size (capped to keep
         // simulations affordable; capacity accounting uses this length).
@@ -269,7 +272,9 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
             let Ok(data) = self.device.get(id) else {
                 continue;
             };
-            let original = self.originals.get(&id).expect("sampled id");
+            let Some(original) = self.originals.get(&id) else {
+                continue;
+            };
             let quality = match decode(&data.bytes) {
                 Ok(decoded) => psnr(original, &decoded),
                 // Header destroyed: the image is unviewable.
@@ -325,7 +330,11 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
         }
 
         // Periodic maintenance and the §4.5 pressure fallback.
-        if self.life.day() % self.config.maintain_period_days.max(1) == 0 {
+        if self
+            .life
+            .day()
+            .is_multiple_of(self.config.maintain_period_days.max(1))
+        {
             let pressure = self.device.maintain().unwrap_or(true);
             if pressure {
                 self.autodelete();
@@ -333,7 +342,11 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
         }
 
         // Periodic quality measurement.
-        if self.life.day() % self.config.quality_period_days.max(1) == 0 {
+        if self
+            .life
+            .day()
+            .is_multiple_of(self.config.quality_period_days.max(1))
+        {
             let psnrs = self.measure_quality();
             self.quality.record(now, psnrs);
         }

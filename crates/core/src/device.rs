@@ -139,6 +139,31 @@ impl SosDevice {
         }
     }
 
+    /// Takes a read-only snapshot of both partition FTLs, the stripe
+    /// layout, and the object directory for invariant auditing.
+    pub fn audit_snapshot(&self) -> crate::audit::CoreState {
+        let mut objects: Vec<crate::audit::ObjectSnapshot> = self
+            .objects
+            .iter()
+            .map(|(&id, info)| crate::audit::ObjectSnapshot {
+                id,
+                partition: info.partition,
+                lpns: info.lpns.clone(),
+                len: info.len,
+                damaged: info.damaged,
+            })
+            .collect();
+        objects.sort_by_key(|o| o.id);
+        crate::audit::CoreState {
+            sys: self.sys.ftl.audit_snapshot(),
+            spare: self.spare.ftl.audit_snapshot(),
+            stripe_width: self.stripes.width(),
+            parity_base: self.stripes.parity_base(),
+            stripes: self.stripes.stripe_snapshot(),
+            objects,
+        }
+    }
+
     /// Live bytes per partition `(sys, spare)`.
     pub fn partition_bytes(&self) -> (u64, u64) {
         let mut sys = 0;
@@ -268,7 +293,9 @@ impl ObjectStore for SosDevice {
             }
         }
         if status == ObjectStatus::PartiallyLost && !info.damaged {
-            self.objects.get_mut(&id).expect("present").damaged = true;
+            if let Some(entry) = self.objects.get_mut(&id) {
+                entry.damaged = true;
+            }
             self.counters.objects_damaged += 1;
         }
         self.counters.bytes_read += bytes.len() as u64;
@@ -292,7 +319,7 @@ impl ObjectStore for SosDevice {
             .ok_or(ObjectError::NoSpace)?;
         self.free_from(info.partition, &info.lpns)
             .map_err(Self::storage_error)?;
-        let entry = self.objects.get_mut(&id).expect("present");
+        let entry = self.objects.get_mut(&id).ok_or(ObjectError::NotFound(id))?;
         entry.lpns = new_lpns;
         self.counters.live_bytes = self.counters.live_bytes + bytes.len() as u64 - entry.len as u64;
         entry.len = bytes.len();
@@ -326,7 +353,7 @@ impl ObjectStore for SosDevice {
             .ok_or(ObjectError::NoSpace)?;
         self.free_from(info.partition, &info.lpns)
             .map_err(Self::storage_error)?;
-        let entry = self.objects.get_mut(&id).expect("present");
+        let entry = self.objects.get_mut(&id).ok_or(ObjectError::NotFound(id))?;
         entry.partition = partition;
         entry.lpns = new_lpns;
         Ok(())

@@ -29,6 +29,7 @@
 //! assert_eq!(data.bytes, b"family photo");
 //! ```
 
+pub mod audit;
 pub mod baseline;
 pub mod cloud;
 pub mod controller;
@@ -41,6 +42,7 @@ pub mod sim;
 pub mod stripe;
 pub mod ufs;
 
+pub use audit::{CoreState, ObjectSnapshot};
 pub use baseline::BaselineDevice;
 pub use cloud::{CloudBackup, CloudConfig};
 pub use controller::{ControllerConfig, ControllerStats, SosController};

@@ -36,7 +36,7 @@ impl LatencyRecorder {
             return None;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted.sort_by(f64::total_cmp);
         let rank = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
         Some(sorted[rank])
     }
@@ -90,7 +90,7 @@ impl QualityTimeline {
         for value in psnrs.iter_mut() {
             *value = value.min(99.0);
         }
-        psnrs.sort_by(|a, b| a.partial_cmp(b).expect("finite PSNR"));
+        psnrs.sort_by(f64::total_cmp);
         let median = psnrs[psnrs.len() / 2];
         let min = psnrs[0];
         self.points.push((day, median, min, psnrs.len() as u64));
@@ -106,7 +106,7 @@ impl QualityTimeline {
         self.points
             .iter()
             .map(|&(_, _, min, _)| min)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite PSNR"))
+            .min_by(f64::total_cmp)
     }
 }
 

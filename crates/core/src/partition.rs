@@ -163,7 +163,7 @@ impl PartitionStore {
                 Err(FtlError::DataLost(_)) => {
                     status = ObjectStatus::PartiallyLost;
                     lost.push(lpn);
-                    bytes.extend(std::iter::repeat(0u8).take(page_bytes));
+                    bytes.extend(std::iter::repeat_n(0u8, page_bytes));
                 }
                 Err(e) => return Err(e),
             }

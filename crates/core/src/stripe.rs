@@ -50,6 +50,28 @@ impl StripeManager {
         self.parity_base
     }
 
+    /// Data LPNs per stripe.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// First LPN of the reserved parity range.
+    pub fn parity_base(&self) -> u64 {
+        self.parity_base
+    }
+
+    /// Snapshot of live stripes as `(stripe index, member LPNs)` pairs,
+    /// sorted by stripe index, for invariant auditing.
+    pub fn stripe_snapshot(&self) -> Vec<(u64, Vec<u64>)> {
+        let mut stripes: Vec<(u64, Vec<u64>)> = self
+            .members
+            .iter()
+            .map(|(&stripe, members)| (stripe, members.clone()))
+            .collect();
+        stripes.sort_by_key(|&(stripe, _)| stripe);
+        stripes
+    }
+
     /// Splits a logical page count into `(data_pages, parity_pages)`
     /// for a given stripe width.
     pub fn layout(total_pages: u64, width: u64) -> (u64, u64) {

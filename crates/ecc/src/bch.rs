@@ -138,7 +138,7 @@ impl BchCode {
             "t={t} too large for m={m}: deg(g)={deg_g} >= n={n}"
         );
         let p = deg_g;
-        let words = (p + 63) / 64;
+        let words = p.div_ceil(64);
         let mut g_low = vec![0u64; words];
         for (i, &coefficient) in generator.iter().take(p).enumerate() {
             if coefficient {
@@ -264,7 +264,7 @@ impl BchCode {
 
     /// Parity size in bytes (rounded up).
     pub fn parity_bytes(&self) -> usize {
-        (self.parity_bits() + 7) / 8
+        self.parity_bits().div_ceil(8)
     }
 
     /// Highest raw bit error rate at which a codeword of `data_bytes`
@@ -408,7 +408,7 @@ impl BchCode {
                                   // Padding bits in the last parity byte are not codeword
                                   // positions; clear any noise the medium injected there so the
                                   // syndrome pass sees only real codeword bits.
-        if p % 8 != 0 {
+        if !p.is_multiple_of(8) {
             let last = parity.len() - 1;
             parity[last] &= (1u8 << (p % 8)) - 1;
         }

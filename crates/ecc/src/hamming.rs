@@ -170,12 +170,12 @@ mod tests {
         let word = 0xA5A5A5A55A5A5A5Au64;
         let check = encode64(word);
         for _ in 0..100 {
-            let b1 = rng.gen_range(0..64);
-            let mut b2 = rng.gen_range(0..64);
+            let b1 = rng.gen_range(0u32..64);
+            let mut b2 = rng.gen_range(0u32..64);
             while b2 == b1 {
-                b2 = rng.gen_range(0..64);
+                b2 = rng.gen_range(0u32..64);
             }
-            let mut w = word ^ (1 << b1) ^ (1 << b2);
+            let mut w = word ^ (1u64 << b1) ^ (1u64 << b2);
             assert_eq!(
                 decode64(&mut w, check),
                 HammingOutcome::DoubleError,

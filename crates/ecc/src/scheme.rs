@@ -466,9 +466,9 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         while seen.len() < count {
             let byte = rng.gen_range(range.clone());
-            let bit = rng.gen_range(0..8);
+            let bit = rng.gen_range(0u32..8);
             if seen.insert((byte, bit)) {
-                raw[byte] ^= 1 << bit;
+                raw[byte] ^= 1u8 << bit;
             }
         }
     }

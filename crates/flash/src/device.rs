@@ -141,6 +141,29 @@ pub struct DeviceStats {
     pub busy_us: f64,
 }
 
+/// Read-only view of one block's management state, taken by
+/// [`FlashDevice::snapshot_blocks`] so external auditors can check NAND
+/// discipline (erase-before-program, in-order writes) without reaching
+/// into the simulator's private fields.
+#[derive(Debug, Clone)]
+pub struct BlockSnapshot {
+    /// Flat index of the block.
+    pub block: u64,
+    /// Current program mode (native or pseudo density).
+    pub mode: ProgramMode,
+    /// Program/erase cycles endured so far.
+    pub pec: u32,
+    /// Whether the block has been retired.
+    pub bad: bool,
+    /// The next in-order page index the block expects to program.
+    pub next_page: u32,
+    /// Usable pages under the current mode.
+    pub usable_pages: u32,
+    /// Page indices (within the block) currently holding programmed
+    /// data, in ascending order.
+    pub programmed: Vec<u32>,
+}
+
 /// A simulated NAND flash device.
 #[derive(Debug)]
 pub struct FlashDevice {
@@ -483,6 +506,36 @@ impl FlashDevice {
     /// Number of good (not bad) blocks remaining.
     pub fn good_blocks(&self) -> u64 {
         self.blocks.iter().filter(|b| !b.bad).count() as u64
+    }
+
+    /// Snapshots every block's management state for invariant auditing.
+    ///
+    /// The `programmed` lists are reconstructed from the page store, so
+    /// an auditor can cross-check them against `next_page`: under NAND
+    /// discipline the programmed pages of a block are exactly the prefix
+    /// `0..next_page`.
+    pub fn snapshot_blocks(&self) -> Vec<BlockSnapshot> {
+        let pages_per_block = self.geometry.pages_per_block;
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(index, state)| {
+                let block = index as u64;
+                let base = block * pages_per_block as u64;
+                let programmed = (0..pages_per_block)
+                    .filter(|&p| self.pages.contains_key(&(base + p as u64)))
+                    .collect();
+                BlockSnapshot {
+                    block,
+                    mode: state.mode,
+                    pec: state.pec,
+                    bad: state.bad,
+                    next_page: state.next_page,
+                    usable_pages: usable_pages_for(pages_per_block, state.mode),
+                    programmed,
+                }
+            })
+            .collect()
     }
 }
 

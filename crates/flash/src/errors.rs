@@ -257,7 +257,7 @@ mod tests {
         for i in 1..10 {
             let rber = 10f64.powi(-i);
             let p = ErrorModel::p_uncorrectable(rber, 8 * 1024 * 9, 40);
-            assert!(p >= 0.0 && p <= 1.0);
+            assert!((0.0..=1.0).contains(&p));
             // Higher rber (earlier in iteration order is *higher*) means
             // higher uncorrectable probability.
             if prev >= 0.0 {

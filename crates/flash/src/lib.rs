@@ -36,7 +36,7 @@ pub mod timing;
 pub use cell::CellState;
 pub use config::DeviceConfig;
 pub use density::{CellDensity, ProgramMode};
-pub use device::{FlashDevice, FlashError, ReadOutcome};
+pub use device::{BlockSnapshot, FlashDevice, FlashError, ReadOutcome};
 pub use errors::ErrorModel;
 pub use geometry::{BlockAddr, Geometry, PageAddr};
 pub use timing::TimingModel;

@@ -185,8 +185,19 @@ impl Ftl {
     ///
     /// Panics if the ECC scheme does not fit the device's spare area or
     /// the mode's physical density mismatches the device (configuration
-    /// errors, not runtime conditions).
+    /// errors, not runtime conditions). Use [`Ftl::try_new`] to handle
+    /// these as errors instead.
     pub fn new(device_config: &DeviceConfig, config: FtlConfig) -> Self {
+        match Self::try_new(device_config, config) {
+            Ok(ftl) => ftl,
+            Err(e) => panic!("invalid FTL configuration: {e}"),
+        }
+    }
+
+    /// Builds an FTL over a fresh device, reporting configuration
+    /// mismatches (ECC scheme too large for the spare area, mode density
+    /// mismatching the device) as errors rather than panicking.
+    pub fn try_new(device_config: &DeviceConfig, config: FtlConfig) -> Result<Self, FtlError> {
         assert_eq!(
             config.mode.physical, device_config.physical_density,
             "FTL mode must match device density"
@@ -197,8 +208,7 @@ impl Ftl {
             config.ecc,
             geometry.page_bytes as usize,
             geometry.spare_bytes as usize,
-        )
-        .expect("ECC scheme must fit the spare area");
+        )?;
         let total_blocks = geometry.total_blocks();
         let usable = usable_pages(geometry.pages_per_block, config.mode);
         let blocks = (0..total_blocks)
@@ -231,11 +241,9 @@ impl Ftl {
         // Apply the configured mode to every block (fresh blocks are
         // erased, so this always succeeds).
         for b in 0..total_blocks {
-            ftl.device
-                .set_block_mode(b, ftl.config.mode)
-                .expect("fresh blocks accept mode changes");
+            ftl.device.set_block_mode(b, ftl.config.mode)?;
         }
-        ftl
+        Ok(ftl)
     }
 
     /// Logical page size in bytes (payload, excluding ECC).
@@ -376,8 +384,13 @@ impl Ftl {
     /// Invalidates a logical page (TRIM/delete).
     pub fn trim(&mut self, lpn: u64) -> Result<(), FtlError> {
         self.check_lpn(lpn)?;
-        if let Slot::Mapped(loc) = self.l2p[lpn as usize] {
-            self.invalidate_location(loc);
+        match self.l2p[lpn as usize] {
+            Slot::Mapped(loc) => {
+                self.invalidate_location(loc);
+                self.stats.trims += 1;
+            }
+            Slot::Lost => self.stats.trims += 1,
+            Slot::Unmapped => {}
         }
         self.l2p[lpn as usize] = Slot::Unmapped;
         Ok(())

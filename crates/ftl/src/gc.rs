@@ -62,7 +62,7 @@ impl Ftl {
                     (1.0 - u) / (1.0 + u) * (1.0 + age)
                 }
             };
-            if best.map_or(true, |(_, s)| score > s) {
+            if best.is_none_or(|(_, s)| score > s) {
                 best = Some((index as u64, score));
             }
         }
@@ -160,10 +160,8 @@ impl Ftl {
             }
             let pec = self.device.block_pec(index as u64)?;
             max_pec = max_pec.max(pec);
-            if info.full {
-                if min_full.map_or(true, |(_, p)| pec < p) {
-                    min_full = Some((index as u64, pec));
-                }
+            if info.full && min_full.is_none_or(|(_, p)| pec < p) {
+                min_full = Some((index as u64, pec));
             }
         }
         let Some((cold, cold_pec)) = min_full else {
@@ -180,12 +178,11 @@ impl Ftl {
             let mut worn_free: Option<(usize, u32)> = None;
             for (position, &block) in self.free.iter().enumerate() {
                 let pec = self.device.block_pec(block)?;
-                if worn_free.map_or(true, |(_, p)| pec > p) {
+                if worn_free.is_none_or(|(_, p)| pec > p) {
                     worn_free = Some((position, pec));
                 }
             }
-            if let Some((position, _)) = worn_free {
-                let block = self.free.remove(position).expect("position from iteration");
+            if let Some(block) = worn_free.and_then(|(position, _)| self.free.remove(position)) {
                 self.open.insert(STREAM_GC, block);
             }
         }

@@ -13,6 +13,7 @@
 //!   pseudo-density ([`scrub`]),
 //! * write-amplification / wear / loss statistics ([`stats`]).
 
+pub mod audit;
 pub mod config;
 pub mod ftl;
 pub mod gc;
@@ -20,6 +21,7 @@ pub mod scrub;
 pub mod stats;
 pub mod zns;
 
+pub use audit::{BlockMapSnapshot, FtlState, SlotSnapshot};
 pub use config::{FtlConfig, GcPolicy, ResuscitationPolicy, ScrubConfig, WearLevelingConfig};
 pub use ftl::{Ftl, FtlError, FtlEvent, ReadResult, StreamId, STREAM_DEFAULT, STREAM_GC};
 pub use scrub::ScrubReport;

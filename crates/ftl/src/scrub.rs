@@ -109,7 +109,7 @@ impl Ftl {
                 self.stats.blocks_resuscitated += 1;
                 report.resuscitated += 1;
             } else {
-                self.retire(block);
+                self.retire(block)?;
                 report.retired += 1;
             }
         }
@@ -177,8 +177,8 @@ impl Ftl {
     }
 
     /// Retires an (already-relocated) block from service.
-    fn retire(&mut self, block: u64) {
-        self.device.mark_bad(block).expect("block address valid");
+    fn retire(&mut self, block: u64) -> Result<(), FtlError> {
+        self.device.mark_bad(block)?;
         let info = &mut self.blocks[block as usize];
         info.bad = true;
         info.full = false;
@@ -189,6 +189,7 @@ impl Ftl {
         self.stats.blocks_retired += 1;
         let day = self.device.now_days();
         self.events.push(FtlEvent::BlockRetired { block, day });
+        Ok(())
     }
 
     /// Wear summary across all blocks (for experiment harnesses).
@@ -203,7 +204,11 @@ impl Ftl {
                 summary.bad_blocks += 1;
                 continue;
             }
-            let pec = self.device.block_pec(index as u64).expect("index valid");
+            // Block indices come from iterating our own table, so the
+            // lookup cannot fail; skip defensively rather than panic.
+            let Ok(pec) = self.device.block_pec(index as u64) else {
+                continue;
+            };
             summary.min_pec = summary.min_pec.min(pec);
             summary.max_pec = summary.max_pec.max(pec);
             total += pec as u64;

@@ -33,6 +33,8 @@ pub struct FtlStats {
     pub blocks_resuscitated: u64,
     /// Logical pages whose data was lost.
     pub lost_pages: u64,
+    /// TRIM operations that released a mapped or lost page.
+    pub trims: u64,
 }
 
 impl FtlStats {

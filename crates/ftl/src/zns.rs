@@ -123,8 +123,22 @@ impl ZonedDevice {
     /// # Panics
     ///
     /// Panics if `blocks_per_zone` is zero or the ECC does not fit the
-    /// spare area (configuration errors).
+    /// spare area (configuration errors). Use [`ZonedDevice::try_new`]
+    /// to handle these as errors instead.
     pub fn new(config: &DeviceConfig, blocks_per_zone: u32, ecc: sos_ecc::EccScheme) -> Self {
+        match Self::try_new(config, blocks_per_zone, ecc) {
+            Ok(device) => device,
+            Err(e) => panic!("invalid zoned-device configuration: {e}"),
+        }
+    }
+
+    /// Creates a zoned device, reporting ECC/spare-area configuration
+    /// mismatches as errors rather than panicking.
+    pub fn try_new(
+        config: &DeviceConfig,
+        blocks_per_zone: u32,
+        ecc: sos_ecc::EccScheme,
+    ) -> Result<Self, ZnsError> {
         assert!(blocks_per_zone >= 1);
         let device = FlashDevice::new(config);
         let geometry = *device.geometry();
@@ -133,7 +147,7 @@ impl ZonedDevice {
             geometry.page_bytes as usize,
             geometry.spare_bytes as usize,
         )
-        .expect("ECC must fit the spare area");
+        .map_err(ZnsError::Codec)?;
         let zone_count = geometry.total_blocks() / blocks_per_zone as u64;
         let mode = ProgramMode::native(device.physical_density());
         let zones = (0..zone_count)
@@ -144,12 +158,12 @@ impl ZonedDevice {
                 first_block: z * blocks_per_zone as u64,
             })
             .collect();
-        ZonedDevice {
+        Ok(ZonedDevice {
             device,
             codec,
             zones,
             blocks_per_zone,
-        }
+        })
     }
 
     /// Number of zones.
@@ -197,16 +211,14 @@ impl ZonedDevice {
     }
 
     /// Maps a zone-relative page offset to a physical address.
-    fn page_addr(&self, info: &ZoneInfo, offset: u64) -> PageAddr {
-        let usable = self
-            .device
-            .usable_pages(info.first_block)
-            .expect("zone blocks exist") as u64;
+    fn page_addr(&self, info: &ZoneInfo, offset: u64) -> Result<PageAddr, ZnsError> {
+        let usable = self.device.usable_pages(info.first_block)? as u64;
         let block = info.first_block + offset / usable;
         let page = (offset % usable) as u32;
-        self.device
+        Ok(self
+            .device
             .geometry()
-            .page_addr(block * self.device.geometry().pages_per_block as u64 + page as u64)
+            .page_addr(block * self.device.geometry().pages_per_block as u64 + page as u64))
     }
 
     /// Appends one page to a zone, returning its zone-relative offset.
@@ -227,7 +239,7 @@ impl ZonedDevice {
             return Err(ZnsError::ZoneFull(zone));
         }
         let raw = self.codec.encode(data).map_err(ZnsError::Codec)?;
-        let addr = self.page_addr(&info, info.write_pointer);
+        let addr = self.page_addr(&info, info.write_pointer)?;
         match self.device.program(addr, &raw) {
             Ok(_) => {}
             Err(FlashError::ProgramFailed(_)) | Err(FlashError::BadBlock(_)) => {
@@ -264,7 +276,7 @@ impl ZonedDevice {
                 write_pointer: info.write_pointer,
             });
         }
-        let addr = self.page_addr(&info, offset);
+        let addr = self.page_addr(&info, offset)?;
         let outcome = self.device.read(addr)?;
         self.codec
             .decode_with_dirty(&outcome.data, &outcome.injected_positions)

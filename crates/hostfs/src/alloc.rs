@@ -49,7 +49,14 @@ impl Allocator {
         let mut remaining = pages;
         let mut out = Vec::new();
         while remaining > 0 {
-            let (&start, &len) = self.free.iter().next().expect("free space accounted");
+            // The free-space precheck above guarantees the pool is not
+            // exhausted mid-loop; bail out defensively if it ever is.
+            let Some((&start, &len)) = self.free.iter().next() else {
+                for extent in out {
+                    self.release(extent);
+                }
+                return None;
+            };
             self.free.remove(&start);
             let take = len.min(remaining);
             out.push(Extent { start, pages: take });

@@ -220,18 +220,21 @@ impl<S: PageStore> HostFs<S> {
         if needed_pages > have {
             let grow = needed_pages - have;
             let extents = self.allocator.allocate(grow).ok_or(FsError::NoSpace)?;
-            let inode = self.inodes.get_mut(&id).expect("checked above");
+            let inode = self.inodes.get_mut(&id).ok_or(FsError::BadFileId(id))?;
             inode.extents.extend(extents);
         }
         // Write page by page (read-modify-write at the edges).
-        let inode = self.inodes.get(&id).expect("checked above").clone();
+        let inode = self.inodes.get(&id).ok_or(FsError::BadFileId(id))?.clone();
         let mut written = 0usize;
         while written < data.len() {
             let absolute = offset + written as u64;
             let file_page = absolute / page_bytes;
             let in_page = (absolute % page_bytes) as usize;
             let chunk = ((page_bytes as usize) - in_page).min(data.len() - written);
-            let device_page = Self::device_page(&inode, file_page).expect("extent sized for write");
+            let device_page = Self::device_page(&inode, file_page).ok_or(FsError::PastEof {
+                offset: absolute,
+                size: inode.size,
+            })?;
             let mut page = if in_page != 0 || chunk != page_bytes as usize {
                 match self.store.read_page(device_page) {
                     Ok(existing) => existing,
@@ -245,7 +248,7 @@ impl<S: PageStore> HostFs<S> {
             self.store.write_page(device_page, &page, inode.hint)?;
             written += chunk;
         }
-        let inode = self.inodes.get_mut(&id).expect("checked above");
+        let inode = self.inodes.get_mut(&id).ok_or(FsError::BadFileId(id))?;
         inode.size = inode.size.max(end);
         Ok(())
     }
@@ -290,7 +293,7 @@ impl<S: PageStore> HostFs<S> {
             .directory
             .remove(path)
             .ok_or_else(|| FsError::NotFound(path.to_string()))?;
-        let inode = self.inodes.remove(&id).expect("directory consistent");
+        let inode = self.inodes.remove(&id).ok_or(FsError::BadFileId(id))?;
         for extent in &inode.extents {
             for page in extent.start..extent.start + extent.pages {
                 // Trim failures on lost pages are fine — the data is gone
@@ -329,7 +332,9 @@ impl<S: PageStore> HostFs<S> {
         // Lower the ceiling first so relocation targets are valid.
         self.allocator.set_capacity_floor(new_pages);
         for id in ids {
-            let inode = self.inodes.get(&id).expect("id from keys").clone();
+            let Some(inode) = self.inodes.get(&id).cloned() else {
+                continue;
+            };
             let mut new_extents: Vec<Extent> = Vec::with_capacity(inode.extents.len());
             for extent in &inode.extents {
                 if extent.start + extent.pages <= new_pages {
@@ -347,7 +352,11 @@ impl<S: PageStore> HostFs<S> {
                     .collect();
                 targets.reverse(); // pop from the front order
                 for source in extent.start..extent.start + extent.pages {
-                    let target = targets.pop().expect("allocation sized to extent");
+                    // The replacement allocation is exactly extent-sized,
+                    // so targets cannot run out; guard anyway.
+                    let Some(target) = targets.pop() else {
+                        return Err(FsError::NoSpace);
+                    };
                     match self.store.read_page(source) {
                         Ok(page) => {
                             self.store.write_page(target, &page, inode.hint)?;
@@ -363,7 +372,9 @@ impl<S: PageStore> HostFs<S> {
                 self.allocator.release(*extent);
                 new_extents.extend(replacement);
             }
-            self.inodes.get_mut(&id).expect("id from keys").extents = new_extents;
+            if let Some(entry) = self.inodes.get_mut(&id) {
+                entry.extents = new_extents;
+            }
         }
         Ok(moved_pages)
     }

@@ -268,8 +268,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..count {
             let byte = rng.gen_range(range.clone());
-            let bit = rng.gen_range(0..8);
-            bytes[byte] ^= 1 << bit;
+            let bit = rng.gen_range(0u32..8);
+            bytes[byte] ^= 1u8 << bit;
         }
     }
 

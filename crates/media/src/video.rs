@@ -235,7 +235,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..count {
             let b = rng.gen_range(skip..bytes.len());
-            bytes[b] ^= 1 << rng.gen_range(0..8);
+            bytes[b] ^= 1u8 << rng.gen_range(0u32..8);
         }
     }
 
@@ -290,25 +290,33 @@ mod tests {
 
     #[test]
     fn p_frame_damage_is_less_harmful_than_i_frame_damage() {
+        // Averaged over several damage patterns: any single pattern can
+        // land in perceptually cheap bits and make the comparison a
+        // coin flip.
         let frames = clip();
         let codec = VideoCodec::new(75, 24, 6).unwrap();
         let clean = codec.encode(&frames).unwrap();
+        let mut qi = 0.0;
+        let mut qp = 0.0;
+        for seed in 0..5 {
+            // Damage the coefficient region of the first I-frame.
+            let mut i_damaged = clean.clone();
+            let skip = i_damaged.frames[0].protected_prefix;
+            damage(&mut i_damaged.frames[0].bytes, skip, 60, 2 * seed);
 
-        // Damage the coefficient region of the first I-frame.
-        let mut i_damaged = clean.clone();
-        let skip = i_damaged.frames[0].protected_prefix;
-        damage(&mut i_damaged.frames[0].bytes, skip, 60, 1);
+            // Damage a P-frame's coefficients with the same budget.
+            let mut p_damaged = clean.clone();
+            let skip = p_damaged.frames[2].protected_prefix.max(16);
+            damage(&mut p_damaged.frames[2].bytes, skip, 60, 2 * seed + 1);
 
-        // Damage a P-frame's coefficients with the same budget.
-        let mut p_damaged = clean.clone();
-        let skip = p_damaged.frames[2].protected_prefix.max(16);
-        damage(&mut p_damaged.frames[2].bytes, skip, 60, 2);
-
-        let qi = mean_psnr(&frames, &decode_video(&i_damaged).unwrap());
-        let qp = mean_psnr(&frames, &decode_video(&p_damaged).unwrap());
+            qi += mean_psnr(&frames, &decode_video(&i_damaged).unwrap());
+            qp += mean_psnr(&frames, &decode_video(&p_damaged).unwrap());
+        }
         assert!(
             qp > qi,
-            "P-frame damage ({qp} dB) should hurt less than I-frame damage ({qi} dB)"
+            "P-frame damage ({} dB) should hurt less than I-frame damage ({} dB)",
+            qp / 5.0,
+            qi / 5.0
         );
     }
 

@@ -103,7 +103,7 @@ pub fn content_for(class: FileClass, id: u64, len: usize) -> Vec<u8> {
             while out.len() < len {
                 match rng.gen_range(0..3) {
                     0 => out.extend((0..512).map(|_| rng.gen::<u8>())),
-                    1 => out.extend(std::iter::repeat(0u8).take(256)),
+                    1 => out.extend(std::iter::repeat_n(0u8, 256)),
                     _ => out.extend_from_slice(b"__symbol_table_entry_v2::module::function\0"),
                 }
             }

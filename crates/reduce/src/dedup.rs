@@ -128,8 +128,8 @@ impl DedupStore {
         self.logical_bytes += data.len() as u64;
         for chunk in self.chunker.chunks(data) {
             let key = fingerprint(chunk);
-            if self.unique.get(&key).is_none() {
-                self.unique.insert(key, chunk.len());
+            if let std::collections::hash_map::Entry::Vacant(entry) = self.unique.entry(key) {
+                entry.insert(chunk.len());
                 self.physical_bytes += chunk.len() as u64;
                 new_bytes += chunk.len() as u64;
             }

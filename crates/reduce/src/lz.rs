@@ -235,7 +235,7 @@ mod tests {
     fn overlapping_matches_roundtrip() {
         // RLE-style overlap: match distance 1.
         let mut input = vec![7u8];
-        input.extend(std::iter::repeat(7u8).take(1000));
+        input.extend(std::iter::repeat_n(7u8, 1000));
         input.extend(b"tail");
         assert_eq!(decompress(&compress(&input)).unwrap(), input);
     }
@@ -271,7 +271,7 @@ mod tests {
                     // Repetitive span.
                     let byte: u8 = rng.gen();
                     let run = rng.gen_range(1..200);
-                    input.extend(std::iter::repeat(byte).take(run));
+                    input.extend(std::iter::repeat_n(byte, run));
                 } else {
                     let run = rng.gen_range(1..200);
                     input.extend((0..run).map(|_| rng.gen::<u8>()));

@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn wear_scales_inversely_with_traffic() {
-        let slow = years_to_wear_out(64 * GIB, 1000, 1 * GIB, 2.0);
+        let slow = years_to_wear_out(64 * GIB, 1000, GIB, 2.0);
         let fast = years_to_wear_out(64 * GIB, 1000, 4 * GIB, 2.0);
         assert!((slow / fast - 4.0).abs() < 1e-9);
     }

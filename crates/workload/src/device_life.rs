@@ -304,7 +304,7 @@ impl DeviceLife {
                 break;
             };
             let meta = self.files.get_mut(&id).expect("live file");
-            let bytes = meta.size.min(8 << 20).max(4096);
+            let bytes = meta.size.clamp(4096, 8 << 20);
             meta.access_count += 1;
             meta.last_access_day = self.day as f64;
             read += bytes;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI runs, in the same order.
+# Usage: scripts/check.sh [--fast]
+#   --fast skips the release build and test suite (lint-only gate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+    fast=1
+fi
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo run -q -p sos-analyze --bin sos-lint
+
+if [[ "$fast" -eq 0 ]]; then
+    run cargo build --release
+    run cargo test -q
+fi
+
+echo "check.sh: all gates passed"

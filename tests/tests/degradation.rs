@@ -2,7 +2,7 @@
 //! FTL → ECC → media quality.
 
 use sos_ecc::EccScheme;
-use sos_flash::{CellDensity, DeviceConfig, Geometry, ProgramMode};
+use sos_flash::{CellDensity, DeviceConfig, Geometry};
 use sos_ftl::{Ftl, FtlConfig, ResuscitationPolicy, WearLevelingConfig};
 use sos_media::{decode, psnr, synthetic_photo, ImageCodec};
 

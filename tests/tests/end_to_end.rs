@@ -136,8 +136,10 @@ fn cloud_backup_repairs_over_degraded_media() {
         Ok(img) => psnr(&image, &img),
         Err(_) => 0.0,
     };
+    // Both reads are stochastic (errors inject on every read of the worn
+    // medium), so allow ~1 dB of sampling noise in the comparison.
     assert!(
-        q_repaired >= q_degraded,
+        q_repaired >= q_degraded - 1.0,
         "repair must not lower quality ({q_repaired} vs {q_degraded})"
     );
     assert!(q_repaired > 30.0, "repaired quality {q_repaired}");

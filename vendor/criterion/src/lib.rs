@@ -1,0 +1,191 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal benchmarking harness with Criterion's API shape.
+//! It runs each benchmark closure for a fixed warm-up plus measured
+//! batch and prints mean wall-clock time per iteration — enough to
+//! compare orders of magnitude, without the statistics machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up briefly, then size the measured batch so the whole
+        // run stays around a few milliseconds.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(20);
+        let iterations = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iterations as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples (ignored by the stub).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { mean_ns: 0.0 };
+        routine(&mut bencher);
+        self.report(&id, bencher.mean_ns);
+        self
+    }
+
+    /// Run one benchmark closure over a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { mean_ns: 0.0 };
+        routine(&mut bencher, input);
+        self.report(&id, bencher.mean_ns);
+        self
+    }
+
+    /// Finish the group (reports are already printed).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, mean_ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if mean_ns > 0.0 => {
+                format!(" ({:.1} MiB/s)", bytes as f64 / mean_ns * 953.67)
+            }
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!(" ({:.1} Melem/s)", n as f64 / mean_ns * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}: {:.0} ns/iter{}", self.name, id.label, mean_ns, rate);
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, routine);
+        self
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

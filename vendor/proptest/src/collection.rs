@@ -1,0 +1,20 @@
+//! Collection strategies: `proptest::collection::{vec, hash_set}`.
+
+use crate::strategy::{HashSetStrategy, SizeBound, Strategy, VecStrategy};
+
+/// Generate a `Vec` of values from `element`, with a length drawn from
+/// `size` (a `usize` range or an exact `usize`).
+pub fn vec<S: Strategy, B: SizeBound>(element: S, size: B) -> VecStrategy<S, B> {
+    VecStrategy { element, size }
+}
+
+/// Generate a `HashSet` of values from `element`; `size` is a target,
+/// not a guarantee (duplicates collapse).
+pub fn hash_set<S, B>(element: S, size: B) -> HashSetStrategy<S, B>
+where
+    S: Strategy,
+    S::Value: std::hash::Hash + Eq,
+    B: SizeBound,
+{
+    HashSetStrategy { element, size }
+}

@@ -1,0 +1,36 @@
+//! Deterministic RNG for the mini property-test harness.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Random source handed to strategies. Seeded from the test's module
+/// path (plus `PROPTEST_SEED` if set) so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Build the RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = seed.parse::<u64>() {
+                hash ^= extra.rotate_left(17);
+            }
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal replacement exposing the names the repo imports:
+//! the `Serialize` / `Deserialize` derive macros (which expand to
+//! nothing — see `serde_derive`) and matching marker traits so bounds
+//! keep compiling if anyone writes them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
