@@ -15,11 +15,17 @@
 //!   an [`sos_core::SosController`] simulation with audits at a
 //!   configurable day interval (for long runs). Per-operation checking
 //!   is compiled only with the `audit` feature (on by default here).
+//!   [`run_crashy_days`] is the crash-sweep variant: it cuts power at a
+//!   scheduled device operation every day, remounts via the recovery
+//!   path, and re-runs every auditor plus the [`RecoveryAuditor`]
+//!   (rebuilt state must equal the pre-crash state minus the *declared*
+//!   crash window).
 //! * **Lint runner** ([`lint`], `sos-lint` binary) — a token-level
 //!   scanner over the workspace sources enforcing repo rules: no
 //!   `.unwrap()`/`.expect()` in non-test storage-stack code, no `f32`
 //!   in carbon accounting, documented public items in `sos-core` /
-//!   `sos-ftl`, and no `std::thread::sleep` in simulation code.
+//!   `sos-ftl`, no `std::thread::sleep` in simulation code, and no
+//!   `todo!()`/`unimplemented!()`/`dbg!()` in non-test code anywhere.
 
 pub mod auditors;
 pub mod harness;
@@ -29,7 +35,10 @@ pub use auditors::{
     EraseDisciplineAuditor, FtlAuditorSet, GcConservationAuditor, L2pInjectivityAuditor,
     PlacementAuditor, ValidCountAuditor, WearMonotonicityAuditor,
 };
-pub use harness::{AuditFinding, AuditedFtl, CoreAuditorSet};
+pub use harness::{
+    run_audited_days, run_crashy_days, seed_from_env, AuditFinding, AuditedFtl, CoreAuditorSet,
+    CrashSweepReport, RecoveryAuditor,
+};
 pub use lint::{run_lints, LintFinding};
 
 use std::fmt;
@@ -175,6 +184,39 @@ pub enum Violation {
         /// TRIMs issued between the snapshots.
         trims: u64,
     },
+    /// An object present in the directory before a crash is missing or
+    /// changed placement after the remount. The directory is host
+    /// metadata, modelled as crash-safe (journaled), so it must survive
+    /// every power cut byte-for-byte.
+    RemountObjectMismatch {
+        /// The object.
+        id: u64,
+        /// What changed across the remount.
+        detail: String,
+    },
+    /// A page the directory references is neither mapped after recovery
+    /// nor declared lost in the remount report — silent data loss. The
+    /// crash-consistency contract is repair-or-declare, never silence.
+    UnreportedCrashLoss {
+        /// Which partition ("sys" or "spare").
+        partition: &'static str,
+        /// The owning object.
+        id: u64,
+        /// The referenced logical page.
+        lpn: u64,
+    },
+    /// A page torn by the power cut (bad OOB CRC) is mapped as valid
+    /// data after recovery even though its block was never erased in
+    /// between: the recovery scan treated interrupted garbage as a
+    /// durable write.
+    TornPageResurfaced {
+        /// Which partition ("sys" or "spare").
+        partition: &'static str,
+        /// The torn flat physical page index.
+        location: u64,
+        /// The logical page mapped onto it.
+        lpn: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -236,6 +278,17 @@ impl fmt::Display for Violation {
             Violation::LiveDataShrank { before, after, trims } => write!(
                 f,
                 "GC conservation breach: live pages {before} -> {after} with only {trims} trims"
+            ),
+            Violation::RemountObjectMismatch { id, detail } => {
+                write!(f, "object {id} inconsistent across remount: {detail}")
+            }
+            Violation::UnreportedCrashLoss { partition, id, lpn } => write!(
+                f,
+                "silent crash loss: {partition} object {id} LPN {lpn} neither recovered nor declared lost"
+            ),
+            Violation::TornPageResurfaced { partition, location, lpn } => write!(
+                f,
+                "torn {partition} page {location} resurfaced as valid data (mapped by LPN {lpn})"
             ),
         }
     }

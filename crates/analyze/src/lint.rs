@@ -18,6 +18,9 @@
 //! * **no-sleep** — simulated time is advanced explicitly
 //!   (`advance_days`); `std::thread::sleep` never belongs in simulation
 //!   code.
+//! * **no-debug-macros** — `todo!()`, `unimplemented!()` and `dbg!()`
+//!   are banned in non-test code across every crate: stubs must be
+//!   gated or completed before merging, and debug prints never ship.
 
 use std::fmt;
 use std::fs;
@@ -336,6 +339,28 @@ fn has_token(haystack: &str, needle: &str) -> bool {
     false
 }
 
+/// Does `line` invoke the macro `name` (`name!(…)`, `name![…]` or
+/// `name!{…}`) as a standalone token?
+fn has_macro(line: &str, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = line[start..].find(name) {
+        let begin = start + pos;
+        let end = begin + name.len();
+        let before_ok = begin == 0 || !is_ident_char(bytes[begin - 1] as char);
+        let bang = bytes.get(end) == Some(&b'!');
+        let opener = matches!(bytes.get(end + 1), Some(b'(' | b'[' | b'{'));
+        if before_ok && bang && opener {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// Macros banned outside test code in every crate.
+const BANNED_MACROS: &[&str] = &["todo", "unimplemented", "dbg"];
+
 /// Keywords that begin a documentable `pub` item.
 const PUB_ITEM_STARTS: &[&str] = &[
     "pub fn ",
@@ -414,6 +439,16 @@ fn lint_file(relative: &Path, prepared: &PreparedFile, findings: &mut Vec<LintFi
                 rule: "no-sleep",
                 message: "std::thread::sleep in simulation code".to_string(),
             });
+        }
+        for name in BANNED_MACROS {
+            if has_macro(line, name) {
+                findings.push(LintFinding {
+                    file: relative.to_path_buf(),
+                    line: number,
+                    rule: "no-debug-macros",
+                    message: format!("{name}!() in non-test code"),
+                });
+            }
         }
         if check_docs {
             let trimmed = line.trim_start();
@@ -524,6 +559,24 @@ mod tests {
         let unwraps: Vec<_> = findings.iter().filter(|f| f.rule == "no-unwrap").collect();
         assert_eq!(unwraps.len(), 1);
         assert_eq!(unwraps[0].line, 1);
+    }
+
+    #[test]
+    fn debug_macros_banned_outside_tests_in_any_crate() {
+        let src = "fn live() { todo!(); }\nfn log(x: u32) { dbg!(x); }\nfn soon() { unimplemented!(\"later\") }\nfn fine() { my_todo!(); idbg!(1); }\n#[cfg(test)]\nmod tests {\n    fn t() { todo!() }\n}\n";
+        let p = prepared(src);
+        let mut findings = Vec::new();
+        // `workload` is in no special crate list: the rule is global.
+        lint_file(Path::new("crates/workload/src/x.rs"), &p, &mut findings);
+        let macros: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "no-debug-macros")
+            .collect();
+        assert_eq!(macros.len(), 3, "{macros:?}");
+        assert_eq!(
+            macros.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! E12: the crash sweep — power cuts at scheduled device operations
+//! over a simulated device life, each followed by an OOB recovery scan
+//! and a parity-repairing remount, with every invariant auditor re-run
+//! after every crash.
+//!
+//! Usage: `exp_crash_sweep [days] [checkpoint_interval_days]`
+//!
+//! The run is reproducible: set `SOS_SEED` to replay a logged sweep
+//! (the seed drives the device, the workload, and the crash schedule).
+
+use sos_analyze::{run_crashy_days, seed_from_env};
+use sos_classify::{multi_user_corpus, Classifier, FeatureExtractor, LogisticRegression};
+use sos_core::{CloudConfig, ControllerConfig, ObjectStore, SosConfig, SosController, SosDevice};
+use sos_workload::{DeviceLife, UsageProfile, WorkloadConfig};
+
+fn main() {
+    let days: u64 = std::env::args()
+        .nth(1)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(120);
+    let checkpoint_interval: u64 = std::env::args()
+        .nth(2)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(5);
+    let seed = seed_from_env(11);
+
+    let extractor = FeatureExtractor::default();
+    let corpus = multi_user_corpus(&extractor, 1, 3);
+    let mut model = LogisticRegression::default();
+    model.train(&corpus.features, &corpus.labels);
+    let device = SosDevice::new(&SosConfig::tiny(seed));
+    let capacity = device.capacity_bytes();
+    let life = DeviceLife::new(WorkloadConfig::phone(capacity, UsageProfile::Typical, seed));
+    let mut controller = SosController::new(
+        device,
+        model,
+        extractor,
+        life,
+        CloudConfig::none(),
+        ControllerConfig::default(),
+    );
+
+    println!("# E12 — crash sweep: {days} days, checkpoint every {checkpoint_interval} days, SOS_SEED={seed}\n");
+    let report = run_crashy_days(&mut controller, days, checkpoint_interval, seed)
+        .expect("recovery failed; the device is unrecoverable");
+
+    println!("days simulated        {}", report.days);
+    println!("power cuts fired      {}", report.crashes);
+    println!("checkpoints taken     {}", report.checkpoints);
+    println!("torn pages found      {}", report.torn_pages);
+    println!("SYS pages repaired    {}", report.sys_repaired);
+    println!("SYS pages lost        {} (declared)", report.sys_lost);
+    println!("SPARE pages lost      {} (declared)", report.spare_lost);
+    println!("resurrected trims     {}", report.resurrected_trimmed);
+    println!("auditor findings      {}", report.findings.len());
+    for finding in &report.findings {
+        println!("  {finding}");
+    }
+    if report.findings.is_empty() {
+        println!("\ncrash consistency holds: every remount rebuilt the pre-crash");
+        println!("state minus the declared crash window (repair-or-declare, torn");
+        println!("pages never resurfacing, directory byte-stable).");
+    } else {
+        println!("\nVIOLATIONS FOUND — crash consistency is broken.");
+        std::process::exit(1);
+    }
+}

@@ -94,6 +94,10 @@ pub struct SosController<D: ObjectStore, C: Classifier> {
     pub quality: QualityTimeline,
     /// Cumulative statistics.
     pub stats: ControllerStats,
+    /// Set when the device reported a power loss mid-operation; the
+    /// remaining day is abandoned and every further day is a no-op
+    /// until the host remounts (`clear_crashed`).
+    crashed: bool,
 }
 
 impl<D: ObjectStore, C: Classifier> SosController<D, C> {
@@ -118,12 +122,25 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
             read_latency: LatencyRecorder::new(),
             quality: QualityTimeline::default(),
             stats: ControllerStats::default(),
+            crashed: false,
         }
     }
 
     /// Access to the cloud backup (reports).
     pub fn cloud(&self) -> &CloudBackup {
         &self.cloud
+    }
+
+    /// Whether the device reported a power loss and awaits remount.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Acknowledges a completed remount: the harness recovers the
+    /// device (e.g. [`crate::SosDevice::recover_in_place`]) and then
+    /// clears the flag so simulation can resume.
+    pub fn clear_crashed(&mut self) {
+        self.crashed = false;
     }
 
     /// Generates content bytes for a new file. Sampled media files get a
@@ -174,6 +191,11 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
                         self.stats.creates += 1;
                         self.cloud.maybe_backup(id, &content);
                     }
+                    Err(ObjectError::PowerLoss) => {
+                        self.crashed = true;
+                        self.originals.remove(&id);
+                        let _ = self.life.force_delete(id);
+                    }
                     Err(_) => {
                         self.stats.rejected_creates += 1;
                         self.originals.remove(&id);
@@ -189,6 +211,14 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
                     return;
                 }
                 Err(ObjectError::NoSpace) => continue,
+                Err(ObjectError::PowerLoss) => {
+                    // The interrupted create never reached the
+                    // directory; drop it from the workload too.
+                    self.crashed = true;
+                    self.originals.remove(&id);
+                    let _ = self.life.force_delete(id);
+                    return;
+                }
                 Err(error) => panic!("create {id} failed: {error}"),
             }
         }
@@ -212,6 +242,7 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
                 self.autodelete();
             }
             Err(ObjectError::NotFound(_)) => {}
+            Err(ObjectError::PowerLoss) => self.crashed = true,
             Err(error) => panic!("update {id} failed: {error}"),
         }
     }
@@ -228,6 +259,7 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
                 }
             }
             Err(ObjectError::NotFound(_)) => {}
+            Err(ObjectError::PowerLoss) => self.crashed = true,
             Err(_) => {
                 self.stats.lost_reads += 1;
             }
@@ -235,7 +267,11 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
     }
 
     fn handle_delete(&mut self, id: ObjectId) {
-        let _ = self.device.delete(id);
+        if let Err(ObjectError::PowerLoss) = self.device.delete(id) {
+            // The entry may already be gone from the directory; any
+            // half-freed pages are swept up by the remount re-trim.
+            self.crashed = true;
+        }
         self.cloud.forget(id);
         self.originals.remove(&id);
     }
@@ -250,11 +286,13 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
         let recommendations = self.daemon.deletion_recommendations(files.iter(), now);
         let mut freed = 0u64;
         for (id, _score) in recommendations {
-            if freed >= target {
+            if self.crashed || freed >= target {
                 break;
             }
             if let Some(size) = self.life.force_delete(id) {
-                let _ = self.device.delete(id);
+                if let Err(ObjectError::PowerLoss) = self.device.delete(id) {
+                    self.crashed = true;
+                }
                 self.cloud.forget(id);
                 self.originals.remove(&id);
                 freed += size;
@@ -269,8 +307,13 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
         let ids: Vec<ObjectId> = self.originals.keys().copied().collect();
         let mut psnrs = Vec::with_capacity(ids.len());
         for id in ids {
-            let Ok(data) = self.device.get(id) else {
-                continue;
+            let data = match self.device.get(id) {
+                Ok(data) => data,
+                Err(ObjectError::PowerLoss) => {
+                    self.crashed = true;
+                    break;
+                }
+                Err(_) => continue,
             };
             let Some(original) = self.originals.get(&id) else {
                 continue;
@@ -299,16 +342,27 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
         psnrs
     }
 
-    /// Runs one simulated day end to end.
+    /// Runs one simulated day end to end. A power loss mid-day abandons
+    /// the rest of the day (the machine is off); the caller remounts
+    /// via the device's recovery path and `clear_crashed`.
     pub fn run_day(&mut self) {
+        if self.crashed {
+            return;
+        }
         let trace = self.life.next_day();
         for op in trace.ops {
+            if self.crashed {
+                return;
+            }
             match op {
                 TraceOp::Create { file, class, bytes } => self.handle_create(file, class, bytes),
                 TraceOp::Update { file, bytes } => self.handle_update(file, bytes),
                 TraceOp::Read { file, .. } => self.handle_read(file),
                 TraceOp::Delete { file } => self.handle_delete(file),
             }
+        }
+        if self.crashed {
+            return;
         }
         self.device.advance_days(1.0);
         let now = self.life.day() as f64;
@@ -323,6 +377,10 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
                     match self.device.migrate(decision.file, Partition::Spare) {
                         Ok(()) => self.stats.demotions += 1,
                         Err(ObjectError::NoSpace) | Err(ObjectError::NotFound(_)) => {}
+                        Err(ObjectError::PowerLoss) => {
+                            self.crashed = true;
+                            return;
+                        }
                         Err(error) => panic!("migrate failed: {error}"),
                     }
                 }
@@ -335,10 +393,20 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
             .day()
             .is_multiple_of(self.config.maintain_period_days.max(1))
         {
-            let pressure = self.device.maintain().unwrap_or(true);
+            let pressure = match self.device.maintain() {
+                Ok(pressure) => pressure,
+                Err(ObjectError::PowerLoss) => {
+                    self.crashed = true;
+                    return;
+                }
+                Err(_) => true,
+            };
             if pressure {
                 self.autodelete();
             }
+        }
+        if self.crashed {
+            return;
         }
 
         // Periodic quality measurement.
@@ -352,9 +420,12 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
         }
     }
 
-    /// Runs `days` simulated days.
+    /// Runs `days` simulated days, stopping early on a power loss.
     pub fn run_days(&mut self, days: u32) {
         for _ in 0..days {
+            if self.crashed {
+                break;
+            }
             self.run_day();
         }
     }

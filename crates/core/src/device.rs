@@ -12,9 +12,9 @@ use crate::object::{
 use crate::partition::PartitionStore;
 use crate::stripe::StripeManager;
 use serde::{Deserialize, Serialize};
-use sos_flash::{CellDensity, DeviceConfig, Geometry};
-use sos_ftl::{Ftl, FtlConfig, FtlError};
-use std::collections::HashMap;
+use sos_flash::{CellDensity, DeviceConfig, FaultPlan, FlashError, Geometry};
+use sos_ftl::{Ftl, FtlConfig, FtlError, RecoveryReport};
+use std::collections::{BTreeSet, HashMap};
 
 /// SOS device configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -71,6 +71,33 @@ struct ObjectInfo {
     lpns: Vec<u64>,
     len: usize,
     damaged: bool,
+}
+
+/// What the remount path recovered, repaired and gave up on. The
+/// crash-sweep harness uses this to check that every page lost in the
+/// crash window is either repaired or *declared* — silent loss is an
+/// audit violation.
+#[derive(Debug, Clone, Default)]
+pub struct RemountReport {
+    /// SYS-partition FTL rebuild report.
+    pub sys: RecoveryReport,
+    /// SPARE-partition FTL rebuild report.
+    pub spare: RecoveryReport,
+    /// Live stripes whose parity was recomputed after recovery.
+    pub parity_refreshed: u64,
+    /// SYS pages lost in the crash window and rebuilt from stripe
+    /// parity.
+    pub sys_repaired: u64,
+    /// SYS pages lost beyond parity's reach, as `(object, lpn)`. Each
+    /// is surfaced as explicit damage on the owning object.
+    pub sys_lost: Vec<(ObjectId, u64)>,
+    /// SPARE pages lost in the crash window, as `(object, lpn)`.
+    /// Tolerated (SPARE is approximate storage) but reported.
+    pub spare_lost: Vec<(ObjectId, u64)>,
+    /// Mapped-but-unreferenced LPNs re-trimmed at remount: trims are
+    /// volatile until checkpointed, so the OOB rebuild can resurrect
+    /// them; the object directory is the authority on what is live.
+    pub resurrected_trimmed: u64,
 }
 
 /// The SOS device.
@@ -213,7 +240,10 @@ impl SosDevice {
     }
 
     fn storage_error(e: FtlError) -> ObjectError {
-        ObjectError::Storage(e.to_string())
+        match e {
+            FtlError::Device(FlashError::PowerLoss) => ObjectError::PowerLoss,
+            other => ObjectError::Storage(other.to_string()),
+        }
     }
 
     /// Attempts stripe reconstruction of lost SYS pages, patching
@@ -245,6 +275,186 @@ impl SosDevice {
             }
         }
         Ok(repaired)
+    }
+
+    /// Writes an on-flash checkpoint on both partition FTLs, bounding
+    /// the OOB scan a later remount must perform.
+    pub fn checkpoint(&mut self) -> Result<(), FtlError> {
+        self.sys.ftl.checkpoint()?;
+        self.spare.ftl.checkpoint()
+    }
+
+    /// Arms a deterministic fault on one partition's flash device (the
+    /// crash-sweep harness cuts power on SYS and SPARE alternately).
+    pub fn arm_fault(&mut self, partition: Partition, plan: FaultPlan, seed: u64) {
+        self.store(partition).ftl.arm_fault(plan, seed);
+    }
+
+    /// Device operations observed by a partition's fault injector so
+    /// far (0 when no injector is attached). Crash schedules are
+    /// expressed relative to this count.
+    pub fn injector_op_count(&self, partition: Partition) -> u64 {
+        self.partition(partition)
+            .ftl
+            .injector()
+            .map(|injector| injector.op_count())
+            .unwrap_or(0)
+    }
+
+    /// Whether a partition's flash device has latched power-off (every
+    /// operation fails with `PowerLoss` until remount).
+    pub fn is_powered_off(&self, partition: Partition) -> bool {
+        self.partition(partition).ftl.device().is_powered_off()
+    }
+
+    /// The remount path: recovers both partition FTLs from flash after
+    /// a power cut and re-attaches the host state on top.
+    ///
+    /// The object directory and workload state are host metadata,
+    /// modelled as crash-safe (a journaled filesystem on a separate
+    /// boot device); what this path rebuilds is everything the *device*
+    /// keeps in RAM. Concretely it:
+    ///
+    /// 1. rebuilds each FTL's L2P map, valid counts and free list from
+    ///    the OOB scan ([`Ftl::recover_in_place`]),
+    /// 2. re-adopts LPN allocations from the object directory and
+    ///    re-trims resurrected pages no object references (trims are
+    ///    volatile until checkpointed),
+    /// 3. rebuilds SYS stripe membership from the directory and repairs
+    ///    crash-window SYS losses from surviving parity; what parity
+    ///    cannot rebuild is declared in [`RemountReport::sys_lost`] and
+    ///    marked as damage on the owning object,
+    /// 4. tolerates SPARE losses, declaring them in
+    ///    [`RemountReport::spare_lost`],
+    /// 5. recomputes every live stripe's parity (the RAID-5 write hole:
+    ///    a cut between a member write and its parity update leaves
+    ///    parity stale).
+    ///
+    /// On error the device is poisoned and must be discarded.
+    pub fn recover_in_place(&mut self) -> Result<RemountReport, FtlError> {
+        let parity_base = self.stripes.parity_base();
+        let width = self.stripes.width();
+        let mut report = RemountReport {
+            sys: self.sys.ftl.recover_in_place()?,
+            spare: self.spare.ftl.recover_in_place()?,
+            ..RemountReport::default()
+        };
+
+        // Re-adopt LPN allocations from the object directory.
+        let mut sys_refs: BTreeSet<u64> = BTreeSet::new();
+        let mut spare_refs: BTreeSet<u64> = BTreeSet::new();
+        for info in self.objects.values() {
+            match info.partition {
+                Partition::Sys => sys_refs.extend(info.lpns.iter().copied()),
+                Partition::Spare => spare_refs.extend(info.lpns.iter().copied()),
+            }
+        }
+        self.sys.pool = crate::partition::LpnPool::new(parity_base);
+        self.sys
+            .pool
+            .reserve(&sys_refs.iter().copied().collect::<Vec<u64>>());
+        self.spare.pool = crate::partition::LpnPool::new(self.spare.ftl.logical_pages());
+        self.spare
+            .pool
+            .reserve(&spare_refs.iter().copied().collect::<Vec<u64>>());
+        // Budgets reflect what the recovered FTLs can sustain (wear and
+        // retirement survive the crash in the device).
+        let sys_deficit = self
+            .sys
+            .ftl
+            .logical_pages()
+            .saturating_sub(self.sys.ftl.sustainable_pages());
+        self.sys
+            .pool
+            .shrink_budget(parity_base.saturating_sub(sys_deficit));
+        self.spare
+            .pool
+            .shrink_budget(self.spare.ftl.sustainable_pages());
+
+        // Volatile trims: drop every mapped data LPN no object
+        // references (resurrected trims, plus pages of operations that
+        // never reached the directory before the cut).
+        for lpn in 0..parity_base {
+            if self.sys.ftl.is_mapped(lpn) && !sys_refs.contains(&lpn) {
+                self.sys.ftl.trim(lpn)?;
+                report.resurrected_trimmed += 1;
+            }
+        }
+        for lpn in 0..self.spare.ftl.logical_pages() {
+            if self.spare.ftl.is_mapped(lpn) && !spare_refs.contains(&lpn) {
+                self.spare.ftl.trim(lpn)?;
+                report.resurrected_trimmed += 1;
+            }
+        }
+
+        // Stripe membership is RAM state; rebuild it from the
+        // directory, then repair crash-window SYS losses from the
+        // pre-refresh parity (still consistent with the stripe unless
+        // the parity write itself tore — the documented write hole).
+        self.stripes = StripeManager::rebuild(width, parity_base, sys_refs.iter().copied());
+        let mut ids: Vec<ObjectId> = self.objects.keys().copied().collect();
+        ids.sort_unstable();
+        let mut newly_damaged = 0u64;
+        for id in ids {
+            let Some(info) = self.objects.get(&id).cloned() else {
+                continue;
+            };
+            let mut object_lost = false;
+            for &lpn in &info.lpns {
+                match info.partition {
+                    Partition::Sys => {
+                        if self.sys.ftl.is_mapped(lpn) {
+                            continue;
+                        }
+                        if let Some(rebuilt) = self.stripes.reconstruct(&mut self.sys.ftl, lpn) {
+                            self.sys
+                                .ftl
+                                .write_stream(lpn, &rebuilt, self.sys.data_stream)?;
+                            report.sys_repaired += 1;
+                        } else {
+                            // Beyond parity's reach: declare the loss so
+                            // reads surface an explicit DataLost rather
+                            // than a never-written page, and drop the
+                            // member so the refreshed parity (computed
+                            // over survivors) is never used to fabricate
+                            // its data.
+                            self.sys.ftl.declare_lost(lpn);
+                            self.stripes.forget_member(lpn);
+                            report.sys_lost.push((id, lpn));
+                            object_lost = true;
+                        }
+                    }
+                    Partition::Spare => {
+                        if !self.spare.ftl.is_mapped(lpn) {
+                            self.spare.ftl.declare_lost(lpn);
+                            report.spare_lost.push((id, lpn));
+                            object_lost = true;
+                        }
+                    }
+                }
+            }
+            if object_lost {
+                if let Some(entry) = self.objects.get_mut(&id) {
+                    if !entry.damaged {
+                        entry.damaged = true;
+                        newly_damaged += 1;
+                    }
+                }
+            }
+        }
+        self.counters.objects_damaged += newly_damaged;
+
+        // Refresh parity for every live stripe and drop parity pages of
+        // stripes with no surviving members.
+        report.parity_refreshed = self.stripes.scrub_parity(&mut self.sys.ftl)?;
+        for lpn in parity_base..self.sys.ftl.logical_pages() {
+            if self.sys.ftl.is_mapped(lpn) && !self.stripes.has_stripe(lpn - parity_base) {
+                self.sys.ftl.trim(lpn)?;
+            }
+        }
+
+        self.pressure = false;
+        Ok(report)
     }
 }
 
@@ -329,10 +539,13 @@ impl ObjectStore for SosDevice {
 
     fn delete(&mut self, id: ObjectId) -> Result<(), ObjectError> {
         let info = self.objects.remove(&id).ok_or(ObjectError::NotFound(id))?;
-        self.free_from(info.partition, &info.lpns)
-            .map_err(Self::storage_error)?;
+        // Counters first, so they stay consistent with the directory
+        // even when a power cut interrupts the page frees below (the
+        // remount re-trim sweeps up whatever was left mapped).
         self.counters.objects -= 1;
         self.counters.live_bytes -= info.len as u64;
+        self.free_from(info.partition, &info.lpns)
+            .map_err(Self::storage_error)?;
         Ok(())
     }
 
@@ -519,6 +732,102 @@ mod tests {
         let pressure = device.maintain().unwrap();
         assert!(!pressure);
         mostly_equal(&device.get(1).unwrap().bytes, &vec![1u8; 2000], 8);
+    }
+
+    #[test]
+    fn remount_after_mid_write_power_cut() {
+        use sos_flash::{FaultAt, FaultKind};
+        let mut device = device();
+        let a: Vec<u8> = (0..3000).map(|i| (i % 251) as u8).collect();
+        device.put(1, &a, Partition::Sys).unwrap();
+        device.put(2, &a, Partition::Spare).unwrap();
+        device.checkpoint().unwrap();
+        // Cut power a few device operations into the next write burst.
+        let at = device.injector_op_count(Partition::Sys) + 7;
+        device.arm_fault(
+            Partition::Sys,
+            FaultPlan {
+                kind: FaultKind::PowerCut,
+                at: FaultAt::OpCount(at),
+            },
+            99,
+        );
+        let mut crashed = false;
+        for id in 10..200 {
+            match device.put(id, &a, Partition::Sys) {
+                Ok(()) => {}
+                Err(ObjectError::PowerLoss) => {
+                    crashed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(crashed, "armed power cut never fired");
+        assert!(device.is_powered_off(Partition::Sys));
+
+        let report = device.recover_in_place().unwrap();
+        assert!(report.sys.used_checkpoint, "checkpoint must bound the scan");
+        assert!(report.sys_lost.is_empty(), "{:?}", report.sys_lost);
+        // Every object the directory still references survives: the
+        // interrupted create never reached the directory and its pages
+        // were re-trimmed.
+        assert_eq!(device.get(1).unwrap().bytes, a, "SYS survives exactly");
+        mostly_equal(&device.get(2).unwrap().bytes, &a, 8);
+        // The device is writable again after remount.
+        device.put(1000, &a, Partition::Sys).unwrap();
+        assert_eq!(device.get(1000).unwrap().bytes, a);
+    }
+
+    #[test]
+    fn remount_repairs_or_declares_referenced_losses() {
+        let mut device = device();
+        let page = device.sys.ftl.page_bytes();
+        // Nine pages per object so each spans more than one stripe.
+        let data: Vec<u8> = (0..page * 9).map(|i| (i % 241) as u8).collect();
+        device.put(1, &data, Partition::Sys).unwrap();
+        device.put(2, &data, Partition::Sys).unwrap();
+        device.put(3, &data, Partition::Spare).unwrap();
+        device.checkpoint().unwrap();
+
+        let width = device.stripes.width();
+        let parity_base = device.stripes.parity_base();
+        // The crash window eats one member of object 1: its stripe
+        // parity survives, so the remount can rebuild the page.
+        let repairable = device.objects[&1].lpns[0];
+        // Object 2 loses a member in a *different* stripe plus that
+        // stripe's parity: beyond repair, must be declared.
+        let dead = *device.objects[&2]
+            .lpns
+            .iter()
+            .find(|&&lpn| lpn / width != repairable / width)
+            .expect("nine pages span several stripes");
+        let parity = parity_base + dead / width;
+        // A SPARE page vanishes too: tolerated but declared.
+        let faded = device.objects[&3].lpns[0];
+        device.sys.ftl.trim(repairable).unwrap();
+        device.sys.ftl.trim(dead).unwrap();
+        if device.sys.ftl.is_mapped(parity) {
+            device.sys.ftl.trim(parity).unwrap();
+        }
+        device.spare.ftl.trim(faded).unwrap();
+        // Trims are volatile until checkpointed; make the simulated
+        // crash-window losses durable so recovery cannot resurrect them.
+        device.checkpoint().unwrap();
+
+        let report = device.recover_in_place().unwrap();
+        assert_eq!(report.sys_repaired, 1, "{report:?}");
+        assert_eq!(report.sys_lost, vec![(2, dead)]);
+        assert_eq!(report.spare_lost, vec![(3, faded)]);
+
+        // Object 1 reads back byte-exact from the parity rebuild.
+        assert_eq!(device.get(1).unwrap().bytes, data, "repair failed");
+        // Object 2 degrades gracefully: explicit damage, zero-filled gap.
+        let two = device.get(2).unwrap();
+        assert_eq!(two.status, ObjectStatus::PartiallyLost);
+        assert_eq!(two.bytes.len(), data.len());
+        // Object 3's SPARE loss is tolerated the same way.
+        assert_eq!(device.get(3).unwrap().status, ObjectStatus::PartiallyLost);
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub enum ObjectError {
     Exists(ObjectId),
     /// The device cannot hold the object.
     NoSpace,
+    /// The device lost power mid-operation: every further call fails
+    /// the same way until the host remounts the recovered device. The
+    /// interrupted operation took partial effect on flash at most; the
+    /// crash-recovery scan decides what survived.
+    PowerLoss,
     /// Internal storage failure.
     Storage(String),
 }
@@ -65,6 +70,7 @@ impl std::fmt::Display for ObjectError {
             ObjectError::NotFound(id) => write!(f, "object {id} not found"),
             ObjectError::Exists(id) => write!(f, "object {id} already exists"),
             ObjectError::NoSpace => write!(f, "device full"),
+            ObjectError::PowerLoss => write!(f, "device lost power; remount required"),
             ObjectError::Storage(e) => write!(f, "storage failure: {e}"),
         }
     }

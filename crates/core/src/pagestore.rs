@@ -4,6 +4,7 @@
 //! real simulated FTL, forwarding the per-file placement hints as FTL
 //! streams (§4.3's multi-stream interface).
 
+use sos_flash::FlashError;
 use sos_ftl::{Ftl, FtlError};
 use sos_hostfs::{PageStore, PlacementHint, StoreError};
 
@@ -28,6 +29,7 @@ fn map_error(e: FtlError) -> StoreError {
         FtlError::DataLost(lpn) => StoreError::Lost(lpn),
         FtlError::WrongDataLength { expected, got } => StoreError::WrongLength { expected, got },
         FtlError::NoSpace => StoreError::NoSpace,
+        FtlError::Device(FlashError::PowerLoss) => StoreError::PowerLoss,
         other => StoreError::WrongLength {
             expected: 0,
             got: other.to_string().len(),
@@ -98,6 +100,62 @@ mod tests {
         assert_eq!(store.read_page(3).unwrap(), page);
         store.trim_page(3).unwrap();
         assert_eq!(store.read_page(3).unwrap_err(), StoreError::NotWritten(3));
+    }
+
+    #[test]
+    fn remount_after_power_cut_recovers_files() {
+        use sos_flash::{FaultAt, FaultKind, FaultPlan};
+        use sos_hostfs::FsError;
+
+        let mut fs = HostFs::format(ftl_store());
+        let keep = fs.create("/keep.bin", 0).unwrap();
+        let data: Vec<u8> = (0..6000).map(|i| (i % 253) as u8).collect();
+        fs.write(keep, 0, &data).unwrap();
+        fs.store_mut().ftl.checkpoint().unwrap();
+
+        // Cut power a few device operations into the next write burst.
+        let at = fs.store().ftl.injector().map(|i| i.op_count()).unwrap_or(0) + 5;
+        fs.store_mut().ftl.arm_fault(
+            FaultPlan {
+                kind: FaultKind::PowerCut,
+                at: FaultAt::OpCount(at),
+            },
+            17,
+        );
+        let doomed = fs.create("/doomed.bin", 0).unwrap();
+        let mut crashed = false;
+        for chunk in 0u64..64 {
+            match fs.write(doomed, chunk * 4096, &[0xEE; 4096]) {
+                Ok(()) => {}
+                Err(FsError::Store(StoreError::PowerLoss)) => {
+                    crashed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(crashed, "armed power cut never fired");
+
+        // The host journal rolls back the incomplete transaction: the
+        // doomed file never becomes durable metadata.
+        let (inodes, directory) = fs.metadata();
+        let inodes: Vec<_> = inodes.into_iter().filter(|i| i.id == keep).collect();
+        let directory: Vec<_> = directory
+            .into_iter()
+            .filter(|(_, id)| *id == keep)
+            .collect();
+
+        let store = fs.into_store();
+        let config = store.ftl.config().clone();
+        let (ftl, report) = Ftl::recover(store.ftl.into_device(), config).unwrap();
+        assert!(report.used_checkpoint, "checkpoint must bound the scan");
+        let mut fs = HostFs::remount(FtlPageStore::new(ftl), inodes, directory);
+
+        assert_eq!(fs.read(keep, 0, data.len()).unwrap(), data);
+        // Writable again after remount.
+        let fresh = fs.create("/new.bin", 0).unwrap();
+        fs.write(fresh, 0, &[9u8; 2048]).unwrap();
+        assert_eq!(fs.read(fresh, 0, 2048).unwrap(), vec![9u8; 2048]);
     }
 
     #[test]

@@ -48,6 +48,19 @@ impl LpnPool {
         self.budget = self.budget.min(new_budget);
     }
 
+    /// Claims specific pages out of the free list, as the remount path
+    /// does when re-adopting allocations recorded in the surviving
+    /// object directory. Pages not currently free are ignored.
+    pub fn reserve(&mut self, lpns: &[u64]) {
+        if lpns.is_empty() {
+            return;
+        }
+        let claimed: std::collections::HashSet<u64> = lpns.iter().copied().collect();
+        let before = self.free.len();
+        self.free.retain(|lpn| !claimed.contains(lpn));
+        self.allocated += (before - self.free.len()) as u64;
+    }
+
     /// Allocates `count` pages, or `None` (pool unchanged) if the
     /// budget or the free list cannot cover them.
     pub fn allocate(&mut self, count: u64) -> Option<Vec<u64>> {

@@ -45,6 +45,57 @@ impl StripeManager {
         }
     }
 
+    /// Rebuilds stripe membership from the data LPNs referenced by the
+    /// surviving object directory (the remount path: membership is RAM
+    /// state and does not itself survive a crash).
+    pub fn rebuild(width: u64, parity_base: u64, data_lpns: impl IntoIterator<Item = u64>) -> Self {
+        let mut manager = StripeManager::new(width, parity_base);
+        for lpn in data_lpns {
+            debug_assert!(lpn < parity_base, "parity-range LPN in object data");
+            let stripe = manager.stripe_of(lpn);
+            let members = manager.members.entry(stripe).or_default();
+            if !members.contains(&lpn) {
+                members.push(lpn);
+            }
+        }
+        manager
+    }
+
+    /// Whether the stripe currently has live members.
+    pub fn has_stripe(&self, stripe: u64) -> bool {
+        self.members.contains_key(&stripe)
+    }
+
+    /// Recomputes and rewrites every live stripe's parity page from its
+    /// readable members. The remount path runs this after crash
+    /// recovery: a power cut between a member write and its parity
+    /// update (the classic RAID-5 write hole) leaves parity stale, and
+    /// a volatile trim may have resurrected a parity page for a stripe
+    /// whose membership changed. Returns the number of stripes
+    /// refreshed.
+    pub fn scrub_parity(&mut self, ftl: &mut Ftl) -> Result<u64, FtlError> {
+        let mut stripes: Vec<u64> = self.members.keys().copied().collect();
+        stripes.sort_unstable();
+        let mut refreshed = 0;
+        for stripe in stripes {
+            let members = match self.members.get(&stripe) {
+                Some(members) => members.clone(),
+                None => continue,
+            };
+            let mut parity = vec![0u8; ftl.page_bytes()];
+            for &member in &members {
+                if let Ok(result) = ftl.read(member) {
+                    for (p, &b) in parity.iter_mut().zip(&result.data) {
+                        *p ^= b;
+                    }
+                }
+            }
+            ftl.write_stream(self.parity_lpn(stripe), &parity, STREAM_PARITY)?;
+            refreshed += 1;
+        }
+        Ok(refreshed)
+    }
+
     /// How many data LPNs this layout supports.
     pub fn data_pages(&self) -> u64 {
         self.parity_base
@@ -143,6 +194,22 @@ impl StripeManager {
         }
         ftl.write_stream(self.parity_lpn(stripe), &parity, STREAM_PARITY)?;
         Ok(())
+    }
+
+    /// Drops a member whose data is irrecoverably lost, without touching
+    /// the FTL (the remount path calls this before [`Self::scrub_parity`],
+    /// which then recomputes parity over the surviving members). Once
+    /// dropped, [`Self::reconstruct`] refuses the LPN: the refreshed
+    /// parity no longer covers the lost data, and "rebuilding" from it
+    /// would fabricate a zero page while claiming success.
+    pub fn forget_member(&mut self, lpn: u64) {
+        let stripe = self.stripe_of(lpn);
+        if let Some(members) = self.members.get_mut(&stripe) {
+            members.retain(|&m| m != lpn);
+            if members.is_empty() {
+                self.members.remove(&stripe);
+            }
+        }
     }
 
     /// Attempts to rebuild the payload of a lost member from its stripe

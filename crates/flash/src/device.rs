@@ -10,14 +10,20 @@ use crate::cell::CellState;
 use crate::config::DeviceConfig;
 use crate::density::{CellDensity, ProgramMode};
 use crate::errors::ErrorModel;
+use crate::fault::{FaultInjector, FaultKind, FaultOp};
 use crate::geometry::{Geometry, PageAddr};
+use crate::oob::OobMeta;
 use crate::timing::TimingModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Errors returned by flash operations.
+///
+/// Marked non-exhaustive: fault-injection work keeps growing this set,
+/// so downstream matches must carry a catch-all arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FlashError {
     /// The addressed block is marked bad (failed program/erase).
     BadBlock(u64),
@@ -57,6 +63,12 @@ pub enum FlashError {
     InvalidAddress,
     /// Mode change requested on a block that still holds data.
     BlockNotEmpty(u64),
+    /// Power was cut; the device rejects every operation until
+    /// [`FlashDevice::power_cycle`] is called.
+    PowerLoss,
+    /// Read of a page whose program was interrupted by a power cut; its
+    /// contents are unreliable and its OOB CRC is invalid.
+    TornPage(u64),
 }
 
 impl std::fmt::Display for FlashError {
@@ -84,6 +96,8 @@ impl std::fmt::Display for FlashError {
             FlashError::ProgramFailed(b) => write!(f, "program failed, block {b} marked bad"),
             FlashError::InvalidAddress => write!(f, "address outside device geometry"),
             FlashError::BlockNotEmpty(b) => write!(f, "block {b} still holds data"),
+            FlashError::PowerLoss => write!(f, "power lost; device needs a power cycle"),
+            FlashError::TornPage(p) => write!(f, "page {p} torn by a power cut"),
         }
     }
 }
@@ -124,6 +138,11 @@ struct BlockState {
 struct PageData {
     data: Box<[u8]>,
     programmed_day: f64,
+    /// Sidecar OOB metadata, written atomically with the data.
+    oob: Option<OobMeta>,
+    /// Program interrupted by a power cut; data is scrambled and the
+    /// OOB CRC is invalid.
+    torn: bool,
 }
 
 /// Cumulative operation counters.
@@ -135,6 +154,8 @@ pub struct DeviceStats {
     pub programs: u64,
     /// Blocks erased.
     pub erases: u64,
+    /// OOB metadata reads (recovery scan cost).
+    pub oob_reads: u64,
     /// Total bit errors injected across all reads.
     pub bit_errors_injected: u64,
     /// Total device busy time, µs.
@@ -162,6 +183,9 @@ pub struct BlockSnapshot {
     /// Page indices (within the block) currently holding programmed
     /// data, in ascending order.
     pub programmed: Vec<u32>,
+    /// Page indices whose program was interrupted by a power cut
+    /// (subset of `programmed`; their contents are unreliable).
+    pub torn: Vec<u32>,
 }
 
 /// A simulated NAND flash device.
@@ -176,6 +200,8 @@ pub struct FlashDevice {
     blocks: Vec<BlockState>,
     pages: HashMap<u64, PageData>,
     stats: DeviceStats,
+    injector: Option<FaultInjector>,
+    powered_off: bool,
 }
 
 impl FlashDevice {
@@ -201,7 +227,44 @@ impl FlashDevice {
             blocks,
             pages: HashMap::new(),
             stats: DeviceStats::default(),
+            injector: None,
+            powered_off: false,
         }
+    }
+
+    /// Attaches a deterministic fault injector. Replaces any injector
+    /// already attached.
+    pub fn attach_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The attached fault injector, if any.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Mutable access to the attached fault injector (for arming more
+    /// faults mid-run).
+    pub fn injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.injector.as_mut()
+    }
+
+    /// Whether a power cut has taken the device offline.
+    pub fn is_powered_off(&self) -> bool {
+        self.powered_off
+    }
+
+    /// Restores power after a [`FlashError::PowerLoss`]. NAND contents
+    /// (including any torn page) survive the cycle; armed faults stay
+    /// armed.
+    pub fn power_cycle(&mut self) {
+        self.powered_off = false;
+    }
+
+    /// Consults the fault injector for an operation about to execute.
+    fn fault_for(&mut self, op: FaultOp) -> Option<FaultKind> {
+        let now = self.now_days;
+        self.injector.as_mut().and_then(|inj| inj.on_op(op, now))
     }
 
     /// The device geometry.
@@ -315,13 +378,46 @@ impl FlashDevice {
     ///
     /// Returns the operation latency in µs.
     pub fn erase(&mut self, block: u64) -> Result<f64, FlashError> {
+        if self.powered_off {
+            return Err(FlashError::PowerLoss);
+        }
+        {
+            let state = self.block_state(block)?;
+            if state.bad {
+                return Err(FlashError::BadBlock(block));
+            }
+        }
+        let fault = self.fault_for(FaultOp::Erase);
         let pages_per_block = self.geometry.pages_per_block as u64;
         let state = self
             .blocks
             .get_mut(block as usize)
             .ok_or(FlashError::InvalidAddress)?;
-        if state.bad {
-            return Err(FlashError::BadBlock(block));
+        match fault {
+            Some(FaultKind::PowerCut) => {
+                // The erase pulse had started: contents are gone, wear
+                // accrued, but the device is offline until power returns.
+                state.pec = state.pec.saturating_add(1);
+                state.next_page = 0;
+                state.reads_since_program = 0;
+                let base = block * pages_per_block;
+                for page in 0..pages_per_block {
+                    self.pages.remove(&(base + page));
+                }
+                self.powered_off = true;
+                return Err(FlashError::PowerLoss);
+            }
+            Some(FaultKind::FailErase) => {
+                state.pec = state.pec.saturating_add(1);
+                state.bad = true;
+                let base = block * pages_per_block;
+                for page in 0..pages_per_block {
+                    self.pages.remove(&(base + page));
+                }
+                self.stats.erases += 1;
+                return Err(FlashError::EraseFailed(block));
+            }
+            _ => {}
         }
         state.pec = state.pec.saturating_add(1);
         state.next_page = 0;
@@ -355,6 +451,23 @@ impl FlashDevice {
     ///
     /// Returns the operation latency in µs.
     pub fn program(&mut self, addr: PageAddr, data: &[u8]) -> Result<f64, FlashError> {
+        self.program_with_oob(addr, data, None)
+    }
+
+    /// Programs a page together with its OOB metadata; the two are
+    /// stored atomically, as on real NAND where the spare area is part
+    /// of the same program pulse. A power cut during the program leaves
+    /// the page *torn*: scrambled contents and an OOB record whose CRC
+    /// check fails.
+    pub fn program_with_oob(
+        &mut self,
+        addr: PageAddr,
+        data: &[u8],
+        oob: Option<OobMeta>,
+    ) -> Result<f64, FlashError> {
+        if self.powered_off {
+            return Err(FlashError::PowerLoss);
+        }
         let block = self.geometry.block_index(addr.block);
         let expected_len = self.page_total_bytes();
         if data.len() != expected_len {
@@ -364,28 +477,74 @@ impl FlashDevice {
             });
         }
         let pages_per_block = self.geometry.pages_per_block;
+        // Validate against current state before consulting the fault
+        // injector: rejected requests never reach the array.
+        {
+            let state = self.block_state(block)?;
+            if state.bad {
+                return Err(FlashError::BadBlock(block));
+            }
+            let usable = usable_pages_for(pages_per_block, state.mode);
+            if addr.page >= usable {
+                return Err(FlashError::PageOutOfRange { block, usable });
+            }
+            if addr.page != state.next_page {
+                return Err(if addr.page < state.next_page {
+                    FlashError::NotErased(block)
+                } else {
+                    FlashError::OutOfOrderProgram {
+                        block,
+                        expected: state.next_page,
+                    }
+                });
+            }
+        }
+        let fault = self.fault_for(FaultOp::Program);
         let now = self.now_days;
+        let index = block * pages_per_block as u64 + addr.page as u64;
+        match fault {
+            Some(FaultKind::PowerCut) => {
+                // Mid-program power cut: the page occupies its slot but
+                // holds partially-programmed cells, and its OOB CRC no
+                // longer verifies. The device is offline until
+                // [`Self::power_cycle`].
+                let mut torn = data.to_vec();
+                if let Some(inj) = self.injector.as_mut() {
+                    inj.tear_data(&mut torn);
+                }
+                let state = self
+                    .blocks
+                    .get_mut(block as usize)
+                    .ok_or(FlashError::InvalidAddress)?;
+                state.next_page += 1;
+                state.reads_since_program = 0;
+                self.stats.programs += 1;
+                self.pages.insert(
+                    index,
+                    PageData {
+                        data: torn.into(),
+                        programmed_day: now,
+                        oob: oob.map(OobMeta::torn),
+                        torn: true,
+                    },
+                );
+                self.powered_off = true;
+                return Err(FlashError::PowerLoss);
+            }
+            Some(FaultKind::FailProgram) => {
+                let state = self
+                    .blocks
+                    .get_mut(block as usize)
+                    .ok_or(FlashError::InvalidAddress)?;
+                state.bad = true;
+                return Err(FlashError::ProgramFailed(block));
+            }
+            _ => {}
+        }
         let state = self
             .blocks
             .get_mut(block as usize)
             .ok_or(FlashError::InvalidAddress)?;
-        if state.bad {
-            return Err(FlashError::BadBlock(block));
-        }
-        let usable = usable_pages_for(pages_per_block, state.mode);
-        if addr.page >= usable {
-            return Err(FlashError::PageOutOfRange { block, usable });
-        }
-        if addr.page != state.next_page {
-            return Err(if addr.page < state.next_page {
-                FlashError::NotErased(block)
-            } else {
-                FlashError::OutOfOrderProgram {
-                    block,
-                    expected: state.next_page,
-                }
-            });
-        }
         // Program failure, like erase failure, only matters deep past
         // rated endurance.
         let wear_frac = state.pec as f64 / state.mode.physical.rated_endurance() as f64;
@@ -400,29 +559,69 @@ impl FlashDevice {
             self.timing.latencies(state.mode).program_us + self.timing.transfer_us(data.len());
         self.stats.programs += 1;
         self.stats.busy_us += latency;
-        let index = block * pages_per_block as u64 + addr.page as u64;
         self.pages.insert(
             index,
             PageData {
                 data: data.into(),
                 programmed_day: now,
+                oob,
+                torn: false,
             },
         );
         Ok(latency)
     }
 
+    /// Reads a page's OOB metadata without transferring the payload.
+    ///
+    /// Recovery scans use this; every call (including probes of
+    /// unprogrammed pages) is counted in [`DeviceStats::oob_reads`] so
+    /// scan cost stays observable. OOB words are short and heavily
+    /// checksummed, so no bit errors are injected — a torn page is
+    /// detected because its stored record fails [`OobMeta::is_valid`].
+    /// `Ok(None)` means the page was programmed without OOB metadata.
+    pub fn read_oob(&mut self, addr: PageAddr) -> Result<Option<OobMeta>, FlashError> {
+        if self.powered_off {
+            return Err(FlashError::PowerLoss);
+        }
+        let block = self.geometry.block_index(addr.block);
+        {
+            let state = self.block_state(block)?;
+            if state.bad {
+                return Err(FlashError::BadBlock(block));
+            }
+        }
+        let index = block * self.geometry.pages_per_block as u64 + addr.page as u64;
+        self.stats.oob_reads += 1;
+        let page = self
+            .pages
+            .get(&index)
+            .ok_or(FlashError::PageNotProgrammed(index))?;
+        Ok(page.oob)
+    }
+
     /// Reads a page, injecting bit errors per the block's stress history.
     pub fn read(&mut self, addr: PageAddr) -> Result<ReadOutcome, FlashError> {
+        if self.powered_off {
+            return Err(FlashError::PowerLoss);
+        }
         let block = self.geometry.block_index(addr.block);
         let index = block * self.geometry.pages_per_block as u64 + addr.page as u64;
         let now = self.now_days;
+        {
+            let state = self.block_state(block)?;
+            if state.bad {
+                return Err(FlashError::BadBlock(block));
+            }
+        }
+        let fault = self.fault_for(FaultOp::Read);
+        if matches!(fault, Some(FaultKind::PowerCut)) {
+            self.powered_off = true;
+            return Err(FlashError::PowerLoss);
+        }
         let state = self
             .blocks
             .get_mut(block as usize)
             .ok_or(FlashError::InvalidAddress)?;
-        if state.bad {
-            return Err(FlashError::BadBlock(block));
-        }
         state.reads_since_program += 1;
         let cell_state_mode = state.mode;
         let reads = state.reads_since_program;
@@ -431,6 +630,10 @@ impl FlashDevice {
             .pages
             .get(&index)
             .ok_or(FlashError::PageNotProgrammed(index))?;
+        if page.torn {
+            self.stats.reads += 1;
+            return Err(FlashError::TornPage(index));
+        }
         let retention_days = (now - page.programmed_day).max(0.0);
         let cell_state = CellState {
             pec,
@@ -445,8 +648,15 @@ impl FlashDevice {
         .min(0.5);
         let mut data = page.data.to_vec();
         let nbits = data.len() * 8;
-        let count = ErrorModel::sample_error_count(&mut self.rng, nbits, rber);
-        let positions = ErrorModel::inject_errors(&mut self.rng, &mut data, count);
+        let mut count = ErrorModel::sample_error_count(&mut self.rng, nbits, rber);
+        let mut positions = ErrorModel::inject_errors(&mut self.rng, &mut data, count);
+        if let Some(FaultKind::ReadNoise { bits }) = fault {
+            if let Some(inj) = self.injector.as_mut() {
+                let extra = inj.flip_bits(&mut data, bits);
+                count += extra.len();
+                positions.extend(extra);
+            }
+        }
         let latency =
             self.timing.latencies(cell_state_mode).read_us + self.timing.transfer_us(data.len());
         self.stats.reads += 1;
@@ -525,6 +735,13 @@ impl FlashDevice {
                 let programmed = (0..pages_per_block)
                     .filter(|&p| self.pages.contains_key(&(base + p as u64)))
                     .collect();
+                let torn = (0..pages_per_block)
+                    .filter(|&p| {
+                        self.pages
+                            .get(&(base + p as u64))
+                            .is_some_and(|page| page.torn)
+                    })
+                    .collect();
                 BlockSnapshot {
                     block,
                     mode: state.mode,
@@ -533,6 +750,7 @@ impl FlashDevice {
                     next_page: state.next_page,
                     usable_pages: usable_pages_for(pages_per_block, state.mode),
                     programmed,
+                    torn,
                 }
             })
             .collect()
@@ -750,6 +968,107 @@ mod tests {
         dev.program(page(&dev, 3, 1), &data).unwrap();
         let with_old_data = dev.block_rber_estimate(3).unwrap();
         assert!(with_old_data > fresh, "estimate must reflect oldest data");
+    }
+
+    #[test]
+    fn oob_roundtrips_with_program() {
+        let mut dev = tiny_device(CellDensity::Tlc);
+        let data = fill(&dev, 0x11);
+        let meta = crate::oob::OobMeta::data(77, 4, 2);
+        dev.program_with_oob(page(&dev, 0, 0), &data, Some(meta))
+            .unwrap();
+        let read_back = dev.read_oob(page(&dev, 0, 0)).unwrap().unwrap();
+        assert_eq!(read_back, meta);
+        assert!(read_back.is_valid());
+        assert_eq!(dev.stats().oob_reads, 1);
+    }
+
+    #[test]
+    fn power_cut_tears_in_flight_page_and_offlines_device() {
+        use crate::fault::{FaultAt, FaultInjector, FaultKind, FaultPlan};
+        let mut dev = tiny_device(CellDensity::Tlc);
+        let mut inj = FaultInjector::new(3);
+        inj.arm(FaultPlan {
+            kind: FaultKind::PowerCut,
+            at: FaultAt::OpCount(2),
+        });
+        dev.attach_injector(inj);
+        let data = fill(&dev, 0x22);
+        let meta0 = crate::oob::OobMeta::data(0, 1, 0);
+        let meta1 = crate::oob::OobMeta::data(1, 2, 0);
+        dev.program_with_oob(page(&dev, 0, 0), &data, Some(meta0))
+            .unwrap();
+        let err = dev
+            .program_with_oob(page(&dev, 0, 1), &data, Some(meta1))
+            .unwrap_err();
+        assert_eq!(err, FlashError::PowerLoss);
+        assert!(dev.is_powered_off());
+        // Everything fails until power returns.
+        assert_eq!(
+            dev.read(page(&dev, 0, 0)).unwrap_err(),
+            FlashError::PowerLoss
+        );
+        dev.power_cycle();
+        // The completed page survives; the torn one is detectable.
+        assert_eq!(dev.read(page(&dev, 0, 0)).unwrap().data, data);
+        assert!(matches!(
+            dev.read(page(&dev, 0, 1)).unwrap_err(),
+            FlashError::TornPage(_)
+        ));
+        let torn_oob = dev.read_oob(page(&dev, 0, 1)).unwrap().unwrap();
+        assert!(!torn_oob.is_valid());
+        let intact_oob = dev.read_oob(page(&dev, 0, 0)).unwrap().unwrap();
+        assert!(intact_oob.is_valid());
+        // The torn page still occupies its slot: in-order programming
+        // resumes after it.
+        assert_eq!(dev.next_free_page(0).unwrap(), Some(2));
+        let snapshot = &dev.snapshot_blocks()[0];
+        assert_eq!(snapshot.torn, vec![1]);
+    }
+
+    #[test]
+    fn scheduled_program_and_erase_failures_retire_block() {
+        use crate::fault::{FaultAt, FaultInjector, FaultKind, FaultPlan};
+        let mut dev = tiny_device(CellDensity::Tlc);
+        let mut inj = FaultInjector::new(4);
+        inj.arm(FaultPlan {
+            kind: FaultKind::FailProgram,
+            at: FaultAt::OpCount(1),
+        });
+        dev.attach_injector(inj);
+        let data = fill(&dev, 0x33);
+        assert_eq!(
+            dev.program(page(&dev, 0, 0), &data).unwrap_err(),
+            FlashError::ProgramFailed(0)
+        );
+        assert!(dev.is_bad(0).unwrap());
+        if let Some(inj) = dev.injector_mut() {
+            inj.arm(FaultPlan {
+                kind: FaultKind::FailErase,
+                at: FaultAt::OpCount(0),
+            });
+        }
+        assert_eq!(dev.erase(1).unwrap_err(), FlashError::EraseFailed(1));
+        assert!(dev.is_bad(1).unwrap());
+    }
+
+    #[test]
+    fn read_noise_injects_transient_errors_once() {
+        use crate::fault::{FaultAt, FaultInjector, FaultKind, FaultPlan};
+        let mut dev = tiny_device(CellDensity::Tlc);
+        let data = fill(&dev, 0x44);
+        dev.program(page(&dev, 0, 0), &data).unwrap();
+        let mut inj = FaultInjector::new(5);
+        inj.arm(FaultPlan {
+            kind: FaultKind::ReadNoise { bits: 12 },
+            at: FaultAt::OpCount(1),
+        });
+        dev.attach_injector(inj);
+        let noisy = dev.read(page(&dev, 0, 0)).unwrap();
+        assert!(noisy.injected_errors >= 12);
+        let clean = dev.read(page(&dev, 0, 0)).unwrap();
+        assert_eq!(clean.injected_errors, 0, "noise must be transient");
+        assert_eq!(clean.data, data);
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod config;
 pub mod density;
 pub mod device;
 pub mod errors;
+pub mod fault;
 pub mod geometry;
+pub mod oob;
 pub mod timing;
 
 pub use cell::CellState;
@@ -38,5 +40,7 @@ pub use config::DeviceConfig;
 pub use density::{CellDensity, ProgramMode};
 pub use device::{BlockSnapshot, FlashDevice, FlashError, ReadOutcome};
 pub use errors::ErrorModel;
+pub use fault::{FaultAt, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRecord};
 pub use geometry::{BlockAddr, Geometry, PageAddr};
+pub use oob::{OobMeta, PageKind};
 pub use timing::TimingModel;

@@ -2,9 +2,12 @@
 //! path with multi-stream placement, and the read path with ECC decode.
 
 use crate::config::FtlConfig;
+use crate::recovery::CheckpointHandle;
 use crate::stats::FtlStats;
 use sos_ecc::{CodecError, PageCodec, PageStatus};
-use sos_flash::{DeviceConfig, FlashDevice, FlashError, PageAddr, ProgramMode};
+use sos_flash::{
+    DeviceConfig, FaultInjector, FaultPlan, FlashDevice, FlashError, OobMeta, PageAddr, ProgramMode,
+};
 use std::collections::{HashMap, VecDeque};
 
 /// Placement stream identifier (§4.3: multi-stream / zoned hints let the
@@ -176,6 +179,11 @@ pub struct Ftl {
     pub(crate) last_reported_capacity: u64,
     pub(crate) stats: FtlStats,
     pub(crate) events: Vec<FtlEvent>,
+    /// Next OOB sequence number; every page program consumes one, so
+    /// recovery can order duplicate LPN copies latest-wins.
+    pub(crate) seq: u64,
+    /// The on-flash checkpoint currently protecting the rebuild scan.
+    pub(crate) checkpoint: Option<CheckpointHandle>,
 }
 
 impl Ftl {
@@ -237,6 +245,8 @@ impl Ftl {
             last_reported_capacity: logical_pages,
             stats: FtlStats::default(),
             events: Vec::new(),
+            seq: 1,
+            checkpoint: None,
         };
         // Apply the configured mode to every block (fresh blocks are
         // erased, so this always succeeds).
@@ -284,6 +294,42 @@ impl Ftl {
     /// Access to the underlying device (read-only).
     pub fn device(&self) -> &FlashDevice {
         &self.device
+    }
+
+    /// Consumes the FTL, returning the underlying device. After a power
+    /// cut this is the crash boundary: all firmware RAM state (L2P map,
+    /// valid counts, free list) is discarded and only what is on flash
+    /// survives, ready for [`Ftl::recover`].
+    pub fn into_device(self) -> FlashDevice {
+        self.device
+    }
+
+    /// Attaches a deterministic fault injector to the underlying device.
+    pub fn attach_injector(&mut self, injector: FaultInjector) {
+        self.device.attach_injector(injector);
+    }
+
+    /// Arms one fault on the device's injector (attaching a fresh
+    /// injector seeded with `seed` if none is attached yet).
+    pub fn arm_fault(&mut self, plan: FaultPlan, seed: u64) {
+        if self.device.injector_mut().is_none() {
+            self.device.attach_injector(FaultInjector::new(seed));
+        }
+        if let Some(injector) = self.device.injector_mut() {
+            injector.arm(plan);
+        }
+    }
+
+    /// The device's fault injector, if one is attached.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.device.injector()
+    }
+
+    /// Sequence floor of the current on-flash checkpoint, if one exists:
+    /// data pages with OOB sequence numbers at or below it are covered
+    /// by the checkpoint and need not be rescanned at recovery.
+    pub fn checkpoint_seq(&self) -> Option<u64> {
+        self.checkpoint.as_ref().map(|handle| handle.data_seq)
     }
 
     /// Current configuration.
@@ -352,7 +398,10 @@ impl Ftl {
         let addr = self.page_addr(location);
         let outcome = match self.device.read(addr) {
             Ok(o) => o,
-            Err(FlashError::BadBlock(_)) => {
+            Err(FlashError::BadBlock(_)) | Err(FlashError::TornPage(_)) => {
+                // A mapping should never point at a torn page (recovery
+                // discards them), but if one does the data is as gone as
+                // on a failed block: record the loss rather than crash.
                 self.mark_lost(lpn);
                 return Err(FtlError::DataLost(lpn));
             }
@@ -399,6 +448,21 @@ impl Ftl {
     /// Whether an LPN currently maps to live data.
     pub fn is_mapped(&self, lpn: u64) -> bool {
         matches!(self.l2p.get(lpn as usize), Some(Slot::Mapped(_)))
+    }
+
+    /// Whether an LPN's data has been recorded as lost.
+    pub fn is_lost(&self, lpn: u64) -> bool {
+        matches!(self.l2p.get(lpn as usize), Some(Slot::Lost))
+    }
+
+    /// Declares the data at `lpn` lost. The crash-recovery remount uses
+    /// this when a referenced page cannot be rebuilt, so later reads
+    /// fail with an explicit [`FtlError::DataLost`] (the host degrades
+    /// gracefully) instead of a confusing [`FtlError::NotWritten`].
+    pub fn declare_lost(&mut self, lpn: u64) {
+        if lpn < self.logical_pages && !self.is_lost(lpn) {
+            self.mark_lost(lpn);
+        }
     }
 
     /// Number of free (erased, ready) blocks.
@@ -475,7 +539,11 @@ impl Ftl {
         loop {
             let (block, page) = self.alloc_page(stream)?;
             let addr = self.page_addr(self.flat_page(block, page));
-            match self.device.program(addr, raw) {
+            // OOB metadata rides the same program pulse: LPN, a fresh
+            // monotonic sequence number, and the placement stream, so a
+            // post-crash scan can rebuild the L2P map latest-wins.
+            let oob = OobMeta::data(lpn, self.next_seq(), stream);
+            match self.device.program_with_oob(addr, raw, Some(oob)) {
                 Ok(latency) => {
                     // Invalidate the previous location, if any.
                     if let Slot::Mapped(old) = self.l2p[lpn as usize] {
@@ -498,6 +566,13 @@ impl Ftl {
                 Err(e) => return Err(e.into()),
             }
         }
+    }
+
+    /// Consumes and returns the next OOB sequence number.
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
     }
 
     /// Allocates the next programmable page on the stream's open block,

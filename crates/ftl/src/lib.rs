@@ -11,12 +11,15 @@
 //! * a background scrubber that refreshes ageing data, retires worn
 //!   blocks (capacity variance) and resuscitates PLC blocks at reduced
 //!   pseudo-density ([`scrub`]),
+//! * crash recovery — OOB-scan L2P rebuild bounded by an on-flash
+//!   checkpoint ([`recovery`]),
 //! * write-amplification / wear / loss statistics ([`stats`]).
 
 pub mod audit;
 pub mod config;
 pub mod ftl;
 pub mod gc;
+pub mod recovery;
 pub mod scrub;
 pub mod stats;
 pub mod zns;
@@ -24,6 +27,7 @@ pub mod zns;
 pub use audit::{BlockMapSnapshot, FtlState, SlotSnapshot};
 pub use config::{FtlConfig, GcPolicy, ResuscitationPolicy, ScrubConfig, WearLevelingConfig};
 pub use ftl::{Ftl, FtlError, FtlEvent, ReadResult, StreamId, STREAM_DEFAULT, STREAM_GC};
+pub use recovery::{RecoveryReport, STREAM_CKPT};
 pub use scrub::ScrubReport;
 pub use stats::{FtlStats, WearSummary};
 pub use zns::{ZnsError, ZoneState, ZonedDevice};

@@ -1,0 +1,828 @@
+//! Crash recovery: OOB scan, latest-sequence-wins L2P rebuild, and the
+//! on-flash checkpoint that bounds the rebuild scan.
+//!
+//! After a power cut the FTL's RAM state (L2P map, valid counts, free
+//! list, open streams) is gone; only the NAND array survives. Recovery
+//! rebuilds firmware state from per-page OOB metadata
+//! ([`sos_flash::OobMeta`]): every data program records its LPN, a
+//! monotonic sequence number and its placement stream, so a physical
+//! scan can reconstruct the forward map by keeping, for each LPN, the
+//! copy with the highest sequence number. Pages whose OOB CRC fails are
+//! *torn* (their program was interrupted by the cut) and are discarded —
+//! the previous copy of that LPN, wherever it lives, wins instead.
+//!
+//! A full-device scan is linear in programmed pages. [`Ftl::checkpoint`]
+//! bounds it: the L2P map and each block's write pointer are serialized,
+//! ECC-protected, and written to dedicated blocks taken from the free
+//! pool. Recovery then restores the checkpointed map and only scans
+//! pages programmed *after* the checkpoint (each block's suffix past its
+//! checkpointed write pointer, plus any block erased and rewritten
+//! since, which is detected by its first page's sequence number).
+//! Checkpoint writes are crash-safe: a new generation is written in full
+//! before the previous one is erased, and an interrupted generation
+//! fails its own CRC/completeness check, so recovery falls back to the
+//! older generation or to a full scan.
+//!
+//! Semantics worth knowing (also documented in `DESIGN.md` §8):
+//!
+//! * **Trims are volatile until the next checkpoint.** The OOB scan has
+//!   no record of a trim, so a crash may resurrect an LPN trimmed after
+//!   the last checkpoint (the stale copy still carries the highest
+//!   sequence number). This mirrors losing an unsynced unlink; the host
+//!   layer re-trims LPNs its directory no longer references at remount.
+//! * **Partially-programmed blocks are closed.** Recovery marks them
+//!   `full` rather than reopening them for appends; GC reclaims the
+//!   wasted tail later. The torn page (if any) stays in place until its
+//!   block is erased and can never be read as valid data.
+//! * **Wear and retirement live in the device.** Program/erase counts
+//!   and bad-block marks survive the crash (a real controller keeps
+//!   them in OOB or a bad-block table); recovery re-adopts them as-is.
+
+use crate::config::FtlConfig;
+use crate::ftl::{usable_pages, BlockInfo, Ftl, FtlError, Slot, StreamId};
+use crate::stats::FtlStats;
+use sos_ecc::{PageCodec, PageStatus};
+use sos_flash::oob::crc32;
+use sos_flash::{DeviceConfig, FlashDevice, FlashError, OobMeta, PageKind};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Stream tag recorded in checkpoint pages' OOB.
+pub const STREAM_CKPT: StreamId = 254;
+
+/// A decoded checkpoint ready to apply: `(data_seq, l2p slots,
+/// per-block next-page pointers, blocks holding the checkpoint)`.
+type AppliedCheckpoint = (u64, Vec<Slot>, Vec<u32>, HashSet<u64>);
+
+const CKPT_MAGIC: u64 = 0x534F_535F_434B_5054; // "SOS_CKPT"
+const CKPT_VERSION: u32 = 1;
+/// Fixed header bytes before the L2P entries.
+const CKPT_HEADER_BYTES: usize = 36;
+/// Bytes per serialized L2P entry (tag + location).
+const CKPT_ENTRY_BYTES: usize = 9;
+
+/// The FTL's handle on its current on-flash checkpoint generation.
+#[derive(Debug, Clone)]
+pub(crate) struct CheckpointHandle {
+    /// Blocks holding the checkpoint; excluded from GC and the free
+    /// pool until the next generation supersedes them.
+    pub blocks: Vec<u64>,
+    /// Data pages with OOB sequence numbers at or below this value are
+    /// fully reflected in the checkpoint.
+    pub data_seq: u64,
+}
+
+/// What recovery did and what it cost.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// OOB reads performed (probes of unprogrammed pages included) —
+    /// the scan cost a checkpoint exists to bound.
+    pub scanned_pages: u64,
+    /// Whether a valid checkpoint was found and applied.
+    pub used_checkpoint: bool,
+    /// The applied checkpoint's data sequence floor (0 without one).
+    pub checkpoint_seq: u64,
+    /// LPNs mapped after the rebuild.
+    pub recovered_mappings: u64,
+    /// LPNs restored in the `Lost` state (pre-crash media failures).
+    pub lost_mappings: u64,
+    /// Flat page indices discarded because their OOB CRC failed.
+    pub torn_pages: Vec<u64>,
+    /// Checkpointed mappings dropped because their block was erased or
+    /// retired after the checkpoint (a newer copy, when one exists, is
+    /// picked up by the scan).
+    pub stale_dropped: u64,
+}
+
+/// First-page probe result for one block (drives checkpoint discovery
+/// and per-block scan bounds).
+#[derive(Debug, Clone, Copy)]
+enum FirstPage {
+    Bad,
+    Empty,
+    /// Programmed without OOB metadata (pre-OOB content); unscannable.
+    Legacy,
+    Torn,
+    Data(OobMeta),
+    Checkpoint,
+}
+
+impl Ftl {
+    /// Writes an on-flash checkpoint of the current L2P map and block
+    /// write pointers, bounding the scan a later [`Ftl::recover`] must
+    /// perform. The previous checkpoint generation is erased only after
+    /// the new one is complete, so a crash mid-checkpoint falls back to
+    /// the older generation (or a full scan).
+    pub fn checkpoint(&mut self) -> Result<(), FtlError> {
+        // Top up the free pool first so taking checkpoint blocks cannot
+        // starve the write path.
+        self.ensure_free_space()?;
+        let data_seq = self.next_seq();
+        let payload = self.checkpoint_payload(data_seq);
+        let chunk_bytes = self.codec.data_bytes();
+        let chunks: Vec<Vec<u8>> = payload
+            .chunks(chunk_bytes)
+            .map(|c| {
+                let mut chunk = c.to_vec();
+                chunk.resize(chunk_bytes, 0);
+                chunk
+            })
+            .collect();
+        for _attempt in 0..3 {
+            match self.write_checkpoint_once(&chunks) {
+                Ok(blocks) => {
+                    // Retire the previous generation now that the new
+                    // one is durable.
+                    if let Some(old) = self.checkpoint.take() {
+                        for block in old.blocks {
+                            self.recycle(block)?;
+                        }
+                    }
+                    self.checkpoint = Some(CheckpointHandle { blocks, data_seq });
+                    return Ok(());
+                }
+                Err((partial, FtlError::Device(FlashError::ProgramFailed(failed)))) => {
+                    // A checkpoint block went bad mid-write: abandon the
+                    // partial generation (GC reclaims those blocks) and
+                    // retry from scratch.
+                    for block in partial {
+                        if block != failed {
+                            self.blocks[block as usize].full = true;
+                        }
+                    }
+                    self.handle_block_failure(failed);
+                }
+                Err((partial, e)) => {
+                    for block in partial {
+                        self.blocks[block as usize].full = true;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Err(FtlError::NoSpace)
+    }
+
+    /// One attempt at writing every checkpoint chunk; returns the blocks
+    /// used, or the partially-used blocks alongside the error.
+    #[allow(clippy::type_complexity)]
+    fn write_checkpoint_once(
+        &mut self,
+        chunks: &[Vec<u8>],
+    ) -> Result<Vec<u64>, (Vec<u64>, FtlError)> {
+        let mut blocks: Vec<u64> = Vec::new();
+        let mut current: Option<u64> = None;
+        for (index, chunk) in chunks.iter().enumerate() {
+            let raw = match self.codec.encode(chunk) {
+                Ok(raw) => raw,
+                Err(e) => return Err((blocks, e.into())),
+            };
+            loop {
+                let block = match current {
+                    Some(block) => block,
+                    None => {
+                        let Some(block) = self.free.pop_front() else {
+                            return Err((blocks, FtlError::NoSpace));
+                        };
+                        blocks.push(block);
+                        current = Some(block);
+                        block
+                    }
+                };
+                let page = match self.device.next_free_page(block) {
+                    Ok(Some(page)) => page,
+                    Ok(None) => {
+                        current = None;
+                        continue;
+                    }
+                    Err(e) => return Err((blocks, e.into())),
+                };
+                let oob = OobMeta::checkpoint(index as u64, self.next_seq(), STREAM_CKPT);
+                let addr = self.page_addr(self.flat_page(block, page));
+                match self.device.program_with_oob(addr, &raw, Some(oob)) {
+                    Ok(_) => break,
+                    Err(e) => return Err((blocks, e.into())),
+                }
+            }
+        }
+        Ok(blocks)
+    }
+
+    /// Serializes the checkpoint: header, L2P entries, per-block write
+    /// pointers, trailing CRC.
+    fn checkpoint_payload(&self, data_seq: u64) -> Vec<u8> {
+        let block_count = self.blocks.len() as u64;
+        let mut payload = Vec::with_capacity(
+            CKPT_HEADER_BYTES + self.l2p.len() * CKPT_ENTRY_BYTES + self.blocks.len() * 4 + 4,
+        );
+        payload.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        payload.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        payload.extend_from_slice(&data_seq.to_le_bytes());
+        payload.extend_from_slice(&self.logical_pages.to_le_bytes());
+        payload.extend_from_slice(&block_count.to_le_bytes());
+        for slot in &self.l2p {
+            let (tag, loc) = match slot {
+                Slot::Unmapped => (0u8, 0u64),
+                Slot::Mapped(loc) => (1, *loc),
+                Slot::Lost => (2, 0),
+            };
+            payload.push(tag);
+            payload.extend_from_slice(&loc.to_le_bytes());
+        }
+        for snapshot in self.device.snapshot_blocks() {
+            payload.extend_from_slice(&snapshot.next_page.to_le_bytes());
+        }
+        let crc = crc32(&payload);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        payload
+    }
+
+    /// Rebuilds an FTL from a crashed device by scanning OOB metadata.
+    ///
+    /// `config` must match the configuration the device was managed
+    /// under (same mode, ECC and provisioning — firmware configuration
+    /// is code, not state, so it survives the crash by construction).
+    pub fn recover(
+        mut device: FlashDevice,
+        config: FtlConfig,
+    ) -> Result<(Ftl, RecoveryReport), FtlError> {
+        device.power_cycle();
+        let geometry = *device.geometry();
+        let codec = PageCodec::new(
+            config.ecc,
+            geometry.page_bytes as usize,
+            geometry.spare_bytes as usize,
+        )?;
+        let total_blocks = geometry.total_blocks();
+        let ppb = geometry.pages_per_block as u64;
+        let reserve_blocks = config.gc_high_watermark as u64 + 2;
+        let usable_cfg = usable_pages(geometry.pages_per_block, config.mode) as u64;
+        let usable_total = total_blocks.saturating_sub(reserve_blocks) * usable_cfg;
+        let logical_pages = (usable_total as f64 * (1.0 - config.over_provisioning)) as u64;
+        let mut report = RecoveryReport::default();
+        let mut max_seq = 0u64;
+
+        // Phase 1: probe page 0 of every block. This classifies blocks
+        // (empty / data / checkpoint), finds each block's generation (a
+        // block's first-page sequence number predates everything else in
+        // it, because erases clear whole blocks), and costs one OOB read
+        // per block.
+        let mut first: Vec<FirstPage> = Vec::with_capacity(total_blocks as usize);
+        for block in 0..total_blocks {
+            if device.is_bad(block)? {
+                first.push(FirstPage::Bad);
+                continue;
+            }
+            report.scanned_pages += 1;
+            let probe = match device.read_oob(geometry.page_addr(block * ppb)) {
+                Err(FlashError::PageNotProgrammed(_)) => FirstPage::Empty,
+                Err(e) => return Err(e.into()),
+                Ok(None) => FirstPage::Legacy,
+                Ok(Some(meta)) if !meta.is_valid() => {
+                    report.torn_pages.push(block * ppb);
+                    FirstPage::Torn
+                }
+                Ok(Some(meta)) if meta.kind == PageKind::Checkpoint => FirstPage::Checkpoint,
+                Ok(Some(meta)) => {
+                    max_seq = max_seq.max(meta.seq);
+                    FirstPage::Data(meta)
+                }
+            };
+            first.push(probe);
+        }
+
+        // Phase 2: gather checkpoint chunks and pick the newest complete,
+        // CRC-valid generation. Generations have disjoint, ascending
+        // sequence ranges and chunk indices counting up from 0, so runs
+        // split wherever a chunk index restarts at 0.
+        let mut ckpt_pages: Vec<(u64, u64, u64, u64)> = Vec::new(); // (seq, chunk, flat, block)
+        for (block, probe) in first.iter().enumerate() {
+            if !matches!(probe, FirstPage::Checkpoint) {
+                continue;
+            }
+            let block = block as u64;
+            for offset in 0..ppb {
+                let flat = block * ppb + offset;
+                if offset > 0 {
+                    report.scanned_pages += 1;
+                }
+                let meta = match device.read_oob(geometry.page_addr(flat)) {
+                    Err(FlashError::PageNotProgrammed(_)) => break,
+                    Err(e) => return Err(e.into()),
+                    Ok(None) => continue,
+                    Ok(Some(meta)) => meta,
+                };
+                if !meta.is_valid() {
+                    report.torn_pages.push(flat);
+                    continue;
+                }
+                max_seq = max_seq.max(meta.seq);
+                if meta.kind == PageKind::Checkpoint {
+                    ckpt_pages.push((meta.seq, meta.lpn, flat, block));
+                }
+            }
+        }
+        ckpt_pages.sort_unstable();
+        let mut runs: Vec<Vec<(u64, u64, u64, u64)>> = Vec::new();
+        for page in ckpt_pages {
+            if page.1 == 0 || runs.is_empty() {
+                runs.push(Vec::new());
+            }
+            if let Some(run) = runs.last_mut() {
+                run.push(page);
+            }
+        }
+        let mut applied: Option<AppliedCheckpoint> = None;
+        for run in runs.iter().rev() {
+            if run
+                .iter()
+                .enumerate()
+                .any(|(index, page)| page.1 != index as u64)
+            {
+                continue; // chunk indices not consecutive: incomplete
+            }
+            let mut payload = Vec::new();
+            let mut intact = true;
+            for &(_, _, flat, _) in run {
+                let outcome = match device.read(geometry.page_addr(flat)) {
+                    Ok(outcome) => outcome,
+                    Err(_) => {
+                        intact = false;
+                        break;
+                    }
+                };
+                match codec.decode_with_dirty(&outcome.data, &outcome.injected_positions) {
+                    Ok(decoded) if decoded.status != PageStatus::Uncorrectable => {
+                        payload.extend_from_slice(&decoded.data);
+                    }
+                    _ => {
+                        intact = false;
+                        break;
+                    }
+                }
+            }
+            if !intact {
+                continue;
+            }
+            if let Some((data_seq, slots, next_pages)) =
+                parse_checkpoint(&payload, logical_pages, total_blocks)
+            {
+                let blocks: HashSet<u64> = run.iter().map(|&(_, _, _, block)| block).collect();
+                applied = Some((data_seq, slots, next_pages, blocks));
+                break;
+            }
+        }
+
+        // Phase 3: seed the map from the checkpoint (when one was found)
+        // and derive per-block scan bounds. A block whose first page
+        // post-dates the checkpoint was erased and rewritten since, so
+        // its checkpointed mappings are stale and it is scanned in full.
+        let (data_seq, ckpt_slots, ckpt_next, live_ckpt_blocks) = match applied {
+            Some((seq, slots, next, blocks)) => (seq, Some(slots), Some(next), blocks),
+            None => (0, None, None, HashSet::new()),
+        };
+        report.used_checkpoint = ckpt_slots.is_some();
+        report.checkpoint_seq = data_seq;
+        max_seq = max_seq.max(data_seq);
+        let mut l2p: Vec<Slot> = vec![Slot::Unmapped; logical_pages as usize];
+        let mut best_seq: Vec<u64> = vec![0; logical_pages as usize];
+        let mut from_ckpt: Vec<bool> = vec![false; logical_pages as usize];
+        if let Some(slots) = &ckpt_slots {
+            for (lpn, slot) in slots.iter().enumerate() {
+                match slot {
+                    Slot::Mapped(loc) => {
+                        l2p[lpn] = Slot::Mapped(*loc);
+                        best_seq[lpn] = data_seq;
+                        from_ckpt[lpn] = true;
+                    }
+                    Slot::Lost => l2p[lpn] = Slot::Lost,
+                    Slot::Unmapped => {}
+                }
+            }
+        }
+
+        // Phase 4: roll-forward scan.
+        let mut rewritten: Vec<bool> = vec![false; total_blocks as usize];
+        for block in 0..total_blocks {
+            let probe = first[block as usize];
+            if matches!(probe, FirstPage::Bad | FirstPage::Checkpoint) {
+                continue;
+            }
+            let start = match (&ckpt_next, probe) {
+                (Some(next), FirstPage::Data(meta)) if meta.seq <= data_seq => {
+                    // Unchanged since the checkpoint: skip the prefix the
+                    // checkpoint already accounts for.
+                    next[block as usize] as u64
+                }
+                (Some(next), _) => {
+                    // Erased (and possibly rewritten) after the
+                    // checkpoint: any checkpointed mapping into it is
+                    // stale; scan it in full.
+                    rewritten[block as usize] = next[block as usize] > 0;
+                    0
+                }
+                (None, _) => 0,
+            };
+            for offset in start..ppb {
+                let flat = block * ppb + offset;
+                let fetched = if offset == 0 {
+                    // Reuse the phase-1 probe rather than re-reading.
+                    match probe {
+                        FirstPage::Data(meta) => Some(meta),
+                        FirstPage::Empty => break,
+                        _ => None, // Torn already recorded; Legacy unscannable.
+                    }
+                } else {
+                    report.scanned_pages += 1;
+                    match device.read_oob(geometry.page_addr(flat)) {
+                        Err(FlashError::PageNotProgrammed(_)) => break,
+                        Err(e) => return Err(e.into()),
+                        Ok(None) => continue,
+                        Ok(Some(meta)) if !meta.is_valid() => {
+                            report.torn_pages.push(flat);
+                            continue;
+                        }
+                        Ok(Some(meta)) => Some(meta),
+                    }
+                };
+                let Some(meta) = fetched else { continue };
+                max_seq = max_seq.max(meta.seq);
+                if meta.kind != PageKind::Data || meta.lpn >= logical_pages {
+                    continue;
+                }
+                let lpn = meta.lpn as usize;
+                if meta.seq > best_seq[lpn] {
+                    l2p[lpn] = Slot::Mapped(flat);
+                    best_seq[lpn] = meta.seq;
+                    from_ckpt[lpn] = false;
+                }
+            }
+        }
+
+        // Phase 5: drop checkpointed mappings whose blocks were erased or
+        // retired after the checkpoint. GC relocates valid data before
+        // erasing, so a surviving copy (with a higher sequence number)
+        // was found by the scan whenever one exists.
+        for lpn in 0..logical_pages as usize {
+            if !from_ckpt[lpn] {
+                continue;
+            }
+            let Slot::Mapped(loc) = l2p[lpn] else {
+                continue;
+            };
+            let block = loc / ppb;
+            if rewritten[block as usize] || device.is_bad(block)? {
+                l2p[lpn] = Slot::Unmapped;
+                report.stale_dropped += 1;
+            }
+        }
+
+        // Phase 6: rebuild per-block reverse maps and valid counts from
+        // the forward map, adopt device wear/retirement state, and close
+        // every partially-programmed block (GC reclaims the tails).
+        let now = device.now_days();
+        let mut blocks_info: Vec<BlockInfo> = Vec::with_capacity(total_blocks as usize);
+        for block in 0..total_blocks {
+            let mode = device.block_mode(block)?;
+            let usable = usable_pages(geometry.pages_per_block, mode);
+            blocks_info.push(BlockInfo {
+                lpns: vec![None; usable as usize],
+                valid: 0,
+                full: false,
+                bad: device.is_bad(block)?,
+                last_write_day: now,
+            });
+        }
+        for (lpn, slot) in l2p.iter_mut().enumerate() {
+            let Slot::Mapped(loc) = *slot else { continue };
+            let block = (loc / ppb) as usize;
+            let offset = (loc % ppb) as usize;
+            let info = &mut blocks_info[block];
+            if offset >= info.lpns.len() {
+                // Defensive: a mapping past the block's current usable
+                // range (mode changed under it) cannot be trusted.
+                *slot = Slot::Unmapped;
+                report.stale_dropped += 1;
+                continue;
+            }
+            info.lpns[offset] = Some(lpn as u64);
+            info.valid += 1;
+        }
+        let mut free: VecDeque<u64> = VecDeque::new();
+        for block in 0..total_blocks {
+            let info = &mut blocks_info[block as usize];
+            if info.bad {
+                continue;
+            }
+            if live_ckpt_blocks.contains(&block) {
+                // The current checkpoint generation: neither free nor a
+                // GC candidate until the next checkpoint supersedes it.
+                continue;
+            }
+            match device.next_free_page(block)? {
+                Some(0) => free.push_back(block),
+                // Fully programmed, or partially programmed and closed
+                // conservatively (this also covers stale checkpoint
+                // generations, which GC now reclaims like any other
+                // garbage block).
+                _ => info.full = true,
+            }
+        }
+
+        let recovered = l2p.iter().filter(|s| matches!(s, Slot::Mapped(_))).count() as u64;
+        let lost = l2p.iter().filter(|s| matches!(s, Slot::Lost)).count() as u64;
+        report.recovered_mappings = recovered;
+        report.lost_mappings = lost;
+        let stats = FtlStats {
+            lost_pages: lost,
+            ..FtlStats::default()
+        };
+        let checkpoint = report.used_checkpoint.then(|| CheckpointHandle {
+            blocks: {
+                let mut blocks: Vec<u64> = live_ckpt_blocks.iter().copied().collect();
+                blocks.sort_unstable();
+                blocks
+            },
+            data_seq,
+        });
+        let mut ftl = Ftl {
+            device,
+            config,
+            codec,
+            l2p,
+            blocks: blocks_info,
+            free,
+            open: HashMap::new(),
+            logical_pages,
+            last_reported_capacity: 0,
+            stats,
+            events: Vec::new(),
+            seq: max_seq + 1,
+            checkpoint,
+        };
+        ftl.last_reported_capacity = ftl.sustainable_pages();
+        Ok((ftl, report))
+    }
+
+    /// [`Ftl::recover`] for an FTL owned by value inside a larger
+    /// structure (the SOS device's partitions): rebuilds this FTL in
+    /// place from its own device.
+    ///
+    /// On error the FTL is poisoned (its device has been consumed) and
+    /// must be discarded — recovery errors are fatal device faults, not
+    /// conditions to retry.
+    pub fn recover_in_place(&mut self) -> Result<RecoveryReport, FtlError> {
+        let config = self.config.clone();
+        let placeholder = FlashDevice::new(&DeviceConfig::tiny(config.mode.physical));
+        let device = std::mem::replace(&mut self.device, placeholder);
+        let (ftl, report) = Ftl::recover(device, config)?;
+        *self = ftl;
+        Ok(report)
+    }
+}
+
+/// Parses and validates a reassembled checkpoint payload. Returns the
+/// data sequence floor, the L2P slots and the per-block write pointers.
+fn parse_checkpoint(
+    payload: &[u8],
+    logical_pages: u64,
+    total_blocks: u64,
+) -> Option<(u64, Vec<Slot>, Vec<u32>)> {
+    let need = CKPT_HEADER_BYTES
+        + logical_pages as usize * CKPT_ENTRY_BYTES
+        + total_blocks as usize * 4
+        + 4;
+    if payload.len() < need {
+        return None;
+    }
+    let read_u64 = |at: usize| -> u64 {
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&payload[at..at + 8]);
+        u64::from_le_bytes(bytes)
+    };
+    let read_u32 = |at: usize| -> u32 {
+        let mut bytes = [0u8; 4];
+        bytes.copy_from_slice(&payload[at..at + 4]);
+        u32::from_le_bytes(bytes)
+    };
+    if read_u64(0) != CKPT_MAGIC || read_u32(8) != CKPT_VERSION {
+        return None;
+    }
+    let data_seq = read_u64(12);
+    if read_u64(20) != logical_pages || read_u64(28) != total_blocks {
+        return None;
+    }
+    if read_u32(need - 4) != crc32(&payload[..need - 4]) {
+        return None;
+    }
+    let mut slots = Vec::with_capacity(logical_pages as usize);
+    let mut at = CKPT_HEADER_BYTES;
+    for _ in 0..logical_pages {
+        let tag = payload[at];
+        let loc = read_u64(at + 1);
+        at += CKPT_ENTRY_BYTES;
+        slots.push(match tag {
+            1 => Slot::Mapped(loc),
+            2 => Slot::Lost,
+            _ => Slot::Unmapped,
+        });
+    }
+    let mut next_pages = Vec::with_capacity(total_blocks as usize);
+    for _ in 0..total_blocks {
+        next_pages.push(read_u32(at));
+        at += 4;
+    }
+    Some((data_seq, slots, next_pages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftl::Ftl;
+    use sos_flash::{CellDensity, DeviceConfig, FaultAt, FaultKind, FaultPlan, ProgramMode};
+
+    fn small_ftl() -> Ftl {
+        Ftl::new(
+            &DeviceConfig::tiny(CellDensity::Tlc),
+            FtlConfig::conventional(ProgramMode::native(CellDensity::Tlc)),
+        )
+    }
+
+    fn page_of(ftl: &Ftl, byte: u8) -> Vec<u8> {
+        vec![byte; ftl.page_bytes()]
+    }
+
+    fn crash_and_recover(ftl: Ftl) -> (Ftl, RecoveryReport) {
+        let config = ftl.config().clone();
+        let device = ftl.into_device();
+        match Ftl::recover(device, config) {
+            Ok(pair) => pair,
+            Err(e) => panic!("recovery failed: {e}"),
+        }
+    }
+
+    #[test]
+    fn clean_shutdown_recovery_rebuilds_identical_l2p() {
+        let mut ftl = small_ftl();
+        for lpn in 0..200 {
+            ftl.write(lpn, &page_of(&ftl, lpn as u8)).unwrap();
+        }
+        // Overwrites create duplicate copies the scan must resolve
+        // latest-wins.
+        for lpn in 0..100 {
+            ftl.write(lpn, &page_of(&ftl, 0xAA)).unwrap();
+        }
+        let before = ftl.audit_snapshot();
+        let (recovered, report) = crash_and_recover(ftl);
+        let after = recovered.audit_snapshot();
+        assert_eq!(before.l2p, after.l2p);
+        assert!(!report.used_checkpoint);
+        assert!(report.recovered_mappings == 200);
+        assert!(report.torn_pages.is_empty());
+    }
+
+    #[test]
+    fn recovered_data_reads_back() {
+        let mut ftl = small_ftl();
+        for lpn in 0..50 {
+            ftl.write(lpn, &page_of(&ftl, lpn as u8)).unwrap();
+        }
+        let (mut recovered, _) = crash_and_recover(ftl);
+        for lpn in 0..50 {
+            assert_eq!(
+                recovered.read(lpn).unwrap().data,
+                vec![lpn as u8; recovered.page_bytes()],
+                "lpn {lpn}"
+            );
+        }
+        // And the recovered FTL keeps serving writes.
+        for lpn in 0..50 {
+            recovered.write(lpn, &page_of(&recovered, 0x77)).unwrap();
+        }
+        assert_eq!(recovered.read(10).unwrap().data, page_of(&recovered, 0x77));
+    }
+
+    #[test]
+    fn torn_page_is_discarded_and_old_copy_survives() {
+        let mut ftl = small_ftl();
+        ftl.write(9, &page_of(&ftl, 0x01)).unwrap();
+        // Cut power during the overwrite of LPN 9: the new copy tears.
+        ftl.arm_fault(
+            FaultPlan {
+                kind: FaultKind::PowerCut,
+                at: FaultAt::OpCount(1),
+            },
+            42,
+        );
+        let err = ftl.write(9, &page_of(&ftl, 0x02)).unwrap_err();
+        assert!(matches!(err, FtlError::Device(FlashError::PowerLoss)));
+        // Pre-crash RAM still maps the old copy (the map updates only
+        // after a successful program).
+        let before = ftl.audit_snapshot();
+        let (mut recovered, report) = crash_and_recover(ftl);
+        assert_eq!(report.torn_pages.len(), 1);
+        let after = recovered.audit_snapshot();
+        assert_eq!(before.l2p, after.l2p, "torn copy must not win");
+        assert_eq!(recovered.read(9).unwrap().data, page_of(&recovered, 0x01));
+        // The torn page is never addressable as valid data.
+        let torn = report.torn_pages[0];
+        assert!(
+            !after
+                .l2p
+                .contains(&crate::audit::SlotSnapshot::Mapped(torn)),
+            "torn page resurfaced in the L2P map"
+        );
+    }
+
+    #[test]
+    fn checkpoint_bounds_the_scan() {
+        let build = |with_checkpoint: bool| {
+            let mut ftl = small_ftl();
+            let cap = ftl.logical_pages();
+            for lpn in 0..cap {
+                ftl.write(lpn, &page_of(&ftl, lpn as u8)).unwrap();
+            }
+            if with_checkpoint {
+                ftl.checkpoint().unwrap();
+            }
+            // A little post-checkpoint work for the roll-forward.
+            for lpn in 0..32 {
+                ftl.write(lpn, &page_of(&ftl, 0xCC)).unwrap();
+            }
+            let before = ftl.audit_snapshot();
+            let (recovered, report) = crash_and_recover(ftl);
+            assert_eq!(before.l2p, recovered.audit_snapshot().l2p);
+            report
+        };
+        let full = build(false);
+        let bounded = build(true);
+        assert!(!full.used_checkpoint);
+        assert!(bounded.used_checkpoint);
+        assert!(
+            bounded.scanned_pages < full.scanned_pages,
+            "checkpointed recovery must scan strictly fewer pages: {} vs {}",
+            bounded.scanned_pages,
+            full.scanned_pages
+        );
+    }
+
+    #[test]
+    fn recovery_after_checkpoint_survives_block_churn() {
+        let mut ftl = small_ftl();
+        let cap = ftl.logical_pages();
+        for lpn in 0..cap {
+            ftl.write(lpn, &page_of(&ftl, lpn as u8)).unwrap();
+        }
+        ftl.checkpoint().unwrap();
+        // Heavy overwrites force GC to erase and rewrite blocks the
+        // checkpoint still references.
+        let mut x = 7u64;
+        for i in 0..2 * cap {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ftl.write(x % cap, &page_of(&ftl, i as u8)).unwrap();
+        }
+        assert!(ftl.stats().gc_runs > 0, "churn must trigger GC");
+        let before = ftl.audit_snapshot();
+        let (recovered, report) = crash_and_recover(ftl);
+        assert!(report.used_checkpoint);
+        assert_eq!(before.l2p, recovered.audit_snapshot().l2p);
+    }
+
+    #[test]
+    fn crash_during_checkpoint_falls_back_cleanly() {
+        let mut ftl = small_ftl();
+        for lpn in 0..300 {
+            ftl.write(lpn, &page_of(&ftl, lpn as u8)).unwrap();
+        }
+        ftl.checkpoint().unwrap();
+        for lpn in 300..400 {
+            ftl.write(lpn, &page_of(&ftl, lpn as u8)).unwrap();
+        }
+        // Tear the second checkpoint mid-write.
+        ftl.arm_fault(
+            FaultPlan {
+                kind: FaultKind::PowerCut,
+                at: FaultAt::OpCount(3),
+            },
+            7,
+        );
+        let before = ftl.audit_snapshot();
+        let err = ftl.checkpoint().unwrap_err();
+        assert!(matches!(err, FtlError::Device(FlashError::PowerLoss)));
+        let (recovered, report) = crash_and_recover(ftl);
+        // The old (complete) generation still validates and is used.
+        assert!(report.used_checkpoint);
+        assert_eq!(before.l2p, recovered.audit_snapshot().l2p);
+    }
+
+    #[test]
+    fn trims_after_checkpoint_may_resurrect() {
+        let mut ftl = small_ftl();
+        ftl.write(5, &page_of(&ftl, 0x55)).unwrap();
+        ftl.checkpoint().unwrap();
+        ftl.trim(5).unwrap();
+        let (recovered, _) = crash_and_recover(ftl);
+        // Documented semantics: the trim was volatile, the stale copy
+        // resurrects. The host layer re-trims unreferenced LPNs.
+        assert!(recovered.is_mapped(5), "post-checkpoint trim is volatile");
+    }
+}

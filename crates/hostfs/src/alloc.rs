@@ -68,6 +68,35 @@ impl Allocator {
         Some(out)
     }
 
+    /// Carves a specific extent out of the free pool, as the remount
+    /// path does when re-adopting extents recorded in surviving inodes.
+    /// Pages of the extent that are not currently free are ignored.
+    pub fn reserve(&mut self, extent: Extent) {
+        let start = extent.start;
+        let end = extent.start + extent.pages;
+        if start >= end {
+            return;
+        }
+        // Free runs overlapping [start, end): at most one starts at or
+        // before `start`, plus every run starting inside the range.
+        let mut overlapping: Vec<(u64, u64)> = Vec::new();
+        if let Some((&s, &l)) = self.free.range(..=start).next_back() {
+            if s + l > start {
+                overlapping.push((s, l));
+            }
+        }
+        overlapping.extend(self.free.range(start + 1..end).map(|(&s, &l)| (s, l)));
+        for (s, l) in overlapping {
+            self.free.remove(&s);
+            if s < start {
+                self.free.insert(s, start - s);
+            }
+            if s + l > end {
+                self.free.insert(end, s + l - end);
+            }
+        }
+    }
+
     /// Returns an extent to the free pool, coalescing with neighbours.
     ///
     /// Pages at or above the ceiling are dropped (they no longer exist).
@@ -207,5 +236,26 @@ mod tests {
     fn zero_page_allocation_is_empty() {
         let mut a = Allocator::new(10);
         assert_eq!(a.allocate(0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn reserve_carves_extents_out_of_free_runs() {
+        let mut a = Allocator::new(100);
+        // Middle of the single free run.
+        a.reserve(Extent {
+            start: 10,
+            pages: 5,
+        });
+        assert_eq!(a.free_pages(), 95);
+        // Spanning the hole: only the still-free pages are removed.
+        a.reserve(Extent {
+            start: 8,
+            pages: 10,
+        });
+        assert_eq!(a.free_pages(), 90);
+        // Fresh allocations avoid everything reserved.
+        let got = a.allocate(90).expect("rest is free");
+        assert!(got.iter().all(|e| e.start + e.pages <= 8 || e.start >= 18));
+        assert!(a.allocate(1).is_none());
     }
 }

@@ -118,6 +118,70 @@ impl<S: PageStore> HostFs<S> {
         }
     }
 
+    /// Re-attaches a filesystem to a recovered store after a crash.
+    ///
+    /// Inodes and the directory are host metadata, modelled as
+    /// crash-safe (journaled on a boot volume that is not simulated);
+    /// the allocator is RAM state, rebuilt here by reserving every
+    /// extent the surviving inodes reference. Pages the store lost in
+    /// the crash window surface as read errors or zeros on access, not
+    /// as mount failures.
+    pub fn remount(
+        mut store: S,
+        inodes: impl IntoIterator<Item = Inode>,
+        directory: impl IntoIterator<Item = (String, FileId)>,
+    ) -> Self {
+        let pages = store.pages();
+        let mut allocator = Allocator::new(pages);
+        let inodes: BTreeMap<FileId, Inode> =
+            inodes.into_iter().map(|inode| (inode.id, inode)).collect();
+        let mut next_id = 1;
+        let mut referenced = vec![false; pages as usize];
+        for inode in inodes.values() {
+            next_id = next_id.max(inode.id + 1);
+            for extent in &inode.extents {
+                allocator.reserve(*extent);
+                for page in extent.start..(extent.start + extent.pages).min(pages) {
+                    referenced[page as usize] = true;
+                }
+            }
+        }
+        // The store may have resurrected pages trimmed shortly before
+        // the crash (device trims are volatile until checkpointed). The
+        // directory is the authority on what is live: drop every page
+        // no extent references.
+        for (page, &live) in referenced.iter().enumerate() {
+            if !live {
+                let _ = store.trim_page(page as u64);
+            }
+        }
+        HostFs {
+            store,
+            allocator,
+            inodes,
+            directory: directory.into_iter().collect(),
+            next_id,
+        }
+    }
+
+    /// Clones the host metadata a remount needs: `(inodes, directory)`.
+    /// A real host journals these; the simulation snapshots them.
+    pub fn metadata(&self) -> (Vec<Inode>, Vec<(String, FileId)>) {
+        (
+            self.inodes.values().cloned().collect(),
+            self.directory
+                .iter()
+                .map(|(path, &id)| (path.clone(), id))
+                .collect(),
+        )
+    }
+
+    /// Consumes the filesystem, returning the underlying store (e.g. to
+    /// run crash recovery on its device).
+    pub fn into_store(self) -> S {
+        self.store
+    }
+
     /// Page size of the underlying store.
     pub fn page_bytes(&self) -> usize {
         self.store.page_bytes()
@@ -504,6 +568,29 @@ mod tests {
         assert_eq!(fs.inode(id).unwrap().hint, 7);
         fs.set_hint(id, 3).unwrap();
         assert_eq!(fs.inode(id).unwrap().hint, 3);
+    }
+
+    #[test]
+    fn remount_rebuilds_the_allocator_from_inodes() {
+        let mut fs = fs();
+        let a = fs.create("/a", 0).unwrap();
+        fs.write(a, 0, &vec![1u8; 256 * 5]).unwrap();
+        let b = fs.create("/b", 0).unwrap();
+        fs.write(b, 0, &vec![2u8; 256 * 3]).unwrap();
+        fs.delete("/a").unwrap();
+        let free_before = fs.free_pages();
+        let (inodes, directory) = fs.metadata();
+        let mut fs = HostFs::remount(fs.into_store(), inodes, directory);
+        assert_eq!(fs.free_pages(), free_before);
+        assert_eq!(fs.file_count(), 1);
+        assert_eq!(fs.read(b, 0, 256 * 3).unwrap(), vec![2u8; 256 * 3]);
+        // New files land in space no surviving file occupies, and ids
+        // never collide with surviving inodes.
+        let c = fs.create("/c", 0).unwrap();
+        assert!(c > b);
+        fs.write(c, 0, &vec![3u8; 256 * 4]).unwrap();
+        assert_eq!(fs.read(b, 0, 256 * 3).unwrap(), vec![2u8; 256 * 3]);
+        assert_eq!(fs.read(c, 0, 256 * 4).unwrap(), vec![3u8; 256 * 4]);
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub enum StoreError {
     Lost(u64),
     /// The device is out of usable space.
     NoSpace,
+    /// The device lost power mid-operation; the host must remount the
+    /// recovered store before continuing.
+    PowerLoss,
 }
 
 impl std::fmt::Display for StoreError {
@@ -38,6 +41,7 @@ impl std::fmt::Display for StoreError {
             StoreError::NotWritten(p) => write!(f, "page {p} not written"),
             StoreError::Lost(p) => write!(f, "page {p} lost"),
             StoreError::NoSpace => write!(f, "no space"),
+            StoreError::PowerLoss => write!(f, "device lost power; remount required"),
         }
     }
 }
