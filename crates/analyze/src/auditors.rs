@@ -23,6 +23,7 @@ impl StateAuditor<FtlState> for L2pInjectivityAuditor {
         "l2p-injectivity"
     }
 
+    // sos-lint: allow(panic-path, "snapshot vectors are sized from the same geometry the offsets were derived from")
     fn audit(&mut self, state: &FtlState) -> Vec<Violation> {
         let mut violations = Vec::new();
         let mut owners: HashMap<u64, u64> = HashMap::new();
@@ -264,6 +265,7 @@ impl StateAuditor<CoreState> for PlacementAuditor {
         "placement"
     }
 
+    // sos-lint: allow(panic-path, "lpns are filtered against the snapshot's l2p length before use and stripe_width is validated nonzero at mount")
     fn audit(&mut self, state: &CoreState) -> Vec<Violation> {
         let mut violations = Vec::new();
         let sys_mode = state.sys.mode;

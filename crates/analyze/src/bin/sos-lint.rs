@@ -1,17 +1,58 @@
 //! Repo-specific lint runner: `cargo run -p sos-analyze --bin sos-lint`.
 //!
-//! Scans the workspace's crate sources for violations of the project
-//! rules (see [`sos_analyze::lint`]) and exits non-zero when any are
-//! found, so CI and `scripts/check.sh` can gate on it. An optional
-//! first argument overrides the workspace root.
+//! Runs the token-stream lint rules **and** the panic-freedom pass over
+//! the workspace sources (see [`sos_analyze::lint`] and
+//! [`sos_analyze::panicpath`]) and exits non-zero when any finding
+//! survives — or when a configured recovery entry point no longer
+//! resolves (a rename hazard) — so CI and `scripts/check.sh` can gate
+//! on it.
+//!
+//! Usage:
+//!
+//! ```text
+//! sos-lint [ROOT] [--format text|json]
+//! ```
+//!
+//! `--format json` prints the machine-readable report
+//! ([`sos_analyze::report::JsonReport`]) on stdout; the exit code
+//! still reflects the gate.
 
+use sos_analyze::panicpath::PANIC_PATH_RULE;
+use sos_analyze::{
+    recovery_entry_points, run_lints_on, run_panic_path, JsonReport, ReportFinding, ReportSummary,
+    Workspace,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn workspace_root() -> PathBuf {
-    if let Some(arg) = std::env::args().nth(1) {
-        return PathBuf::from(arg);
+struct Options {
+    root: PathBuf,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--help" | "-h" => return Err("usage: sos-lint [ROOT] [--format text|json]".into()),
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
     }
+    Ok(Options {
+        root: root.unwrap_or_else(default_root),
+        json,
+    })
+}
+
+fn default_root() -> PathBuf {
     // The binary lives in crates/analyze; the workspace root is two up.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest
@@ -22,15 +63,81 @@ fn workspace_root() -> PathBuf {
 }
 
 fn main() -> ExitCode {
-    let root = workspace_root();
-    let findings = sos_analyze::run_lints(&root);
-    if findings.is_empty() {
-        println!("sos-lint: clean ({})", root.display());
-        return ExitCode::SUCCESS;
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workspace = Workspace::load(&options.root);
+    let lint = run_lints_on(&workspace);
+    let panic_path = run_panic_path(&workspace, &recovery_entry_points());
+
+    let mut findings: Vec<ReportFinding> = lint
+        .findings
+        .iter()
+        .map(|f| ReportFinding {
+            rule: f.rule.to_string(),
+            file: f.file.display().to_string(),
+            line: f.line,
+            message: f.message.clone(),
+            chain: Vec::new(),
+        })
+        .collect();
+    findings.extend(panic_path.findings.iter().map(|f| ReportFinding {
+        rule: PANIC_PATH_RULE.to_string(),
+        file: f.file.display().to_string(),
+        line: f.line,
+        message: f.message.clone(),
+        chain: f.chain.clone(),
+    }));
+
+    let report = JsonReport {
+        version: sos_analyze::report::REPORT_VERSION,
+        findings,
+        summary: ReportSummary {
+            reachable_fns: panic_path.reachable_fns,
+            unresolved_calls: panic_path.unresolved_calls,
+            suppressed: lint.suppressed + panic_path.suppressed,
+            entry_points: panic_path.entry_points.clone(),
+            missing_entry_points: panic_path.missing_entry_points.clone(),
+        },
+    };
+
+    let clean = report.findings.is_empty() && report.summary.missing_entry_points.is_empty();
+    if options.json {
+        print!("{}", report.to_json());
+    } else {
+        for finding in &lint.findings {
+            println!("{finding}");
+        }
+        for finding in &panic_path.findings {
+            println!("{finding}");
+        }
+        for entry in &report.summary.missing_entry_points {
+            println!("panic-path: entry point `{entry}` matches no function (renamed?)");
+        }
+        if clean {
+            println!(
+                "sos-lint: clean ({}) — {} fns reachable from {} entry points, {} suppression(s), {} unresolved call(s)",
+                options.root.display(),
+                report.summary.reachable_fns,
+                report.summary.entry_points.len(),
+                report.summary.suppressed,
+                report.summary.unresolved_calls,
+            );
+        } else {
+            println!(
+                "sos-lint: {} finding(s), {} missing entry point(s)",
+                report.findings.len(),
+                report.summary.missing_entry_points.len()
+            );
+        }
     }
-    for finding in &findings {
-        println!("{finding}");
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-    println!("sos-lint: {} finding(s)", findings.len());
-    ExitCode::FAILURE
 }

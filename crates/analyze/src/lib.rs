@@ -20,26 +20,43 @@
 //!   path, and re-runs every auditor plus the [`RecoveryAuditor`]
 //!   (rebuilt state must equal the pre-crash state minus the *declared*
 //!   crash window).
-//! * **Lint runner** ([`lint`], `sos-lint` binary) — a token-level
-//!   scanner over the workspace sources enforcing repo rules: no
-//!   `.unwrap()`/`.expect()` in non-test storage-stack code, no `f32`
-//!   in carbon accounting, documented public items in `sos-core` /
-//!   `sos-ftl`, no `std::thread::sleep` in simulation code, and no
-//!   `todo!()`/`unimplemented!()`/`dbg!()` in non-test code anywhere.
+//! * **Static analysis** ([`parse`], [`lint`], [`callgraph`],
+//!   [`panicpath`], `sos-lint` binary) — a spanned Rust lexer and item
+//!   extractor feed both the lint rules (no `.unwrap()`/`.expect()` in
+//!   non-test storage-stack code, no `f32` in carbon accounting,
+//!   documented public items in `sos-core`/`sos-ftl`, no
+//!   `std::thread::sleep`, no `todo!()`/`unimplemented!()`/`dbg!()`,
+//!   no lossy `as` casts in `sos-flash`/`sos-ftl`) and the
+//!   **panic-freedom pass**: a workspace call graph walked from the
+//!   recovery entry points (`Ftl::recover`, GC, scrub, remount),
+//!   flagging every reachable panicking construct with its call chain.
+//!   Residual risks are suppressed inline with a mandatory written
+//!   justification; `sos-lint --format json` emits the machine-readable
+//!   report ([`report`]).
 
 pub mod auditors;
+pub mod callgraph;
 pub mod harness;
 pub mod lint;
+pub mod panicpath;
+pub mod parse;
+pub mod report;
+pub mod suppress;
 
 pub use auditors::{
     EraseDisciplineAuditor, FtlAuditorSet, GcConservationAuditor, L2pInjectivityAuditor,
     PlacementAuditor, ValidCountAuditor, WearMonotonicityAuditor,
 };
+pub use callgraph::CallGraph;
 pub use harness::{
     run_audited_days, run_crashy_days, seed_from_env, AuditFinding, AuditedFtl, CoreAuditorSet,
     CrashSweepReport, RecoveryAuditor,
 };
-pub use lint::{run_lints, LintFinding};
+pub use lint::{run_lints, run_lints_on, LintFinding, LintOutcome};
+pub use panicpath::{recovery_entry_points, run_panic_path, EntryPoint, PanicPathReport};
+pub use parse::Workspace;
+pub use report::{JsonReport, ReportFinding, ReportSummary};
+pub use suppress::SuppressionSet;
 
 use std::fmt;
 

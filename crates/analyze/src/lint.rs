@@ -1,10 +1,13 @@
 //! A repo-specific lint runner over the workspace sources.
 //!
-//! The build environment has no registry access, so instead of a parser
-//! dependency this is a token-level scanner: sources are cleaned of
-//! comments and string literals (so text inside them cannot trip a
-//! rule), `#[cfg(test)]` regions are tracked by brace depth, and the
-//! rules below run on what remains.
+//! Since PR 3 the rules run on the spanned token stream from
+//! [`crate::parse`] instead of blanked source lines: string literals
+//! and comments are distinct token kinds (so text inside them cannot
+//! trip a rule), `cfg(test)` regions come from the item extractor
+//! (including `cfg(any(test, …))` / `cfg(all(test, …))` forms), and
+//! constructs split across lines by rustfmt — `.unwrap()` with the dot
+//! on the previous line — are matched on adjacent tokens, not on line
+//! text.
 //!
 //! Rules:
 //!
@@ -21,9 +24,21 @@
 //! * **no-debug-macros** — `todo!()`, `unimplemented!()` and `dbg!()`
 //!   are banned in non-test code across every crate: stubs must be
 //!   gated or completed before merging, and debug prints never ship.
+//! * **no-lossy-cast** — `as u8` / `as u16` / `as u32` are banned in
+//!   non-test `sos-flash` and `sos-ftl` code: a truncating cast on an
+//!   address or count silently corrupts the mapping tables that
+//!   recovery rebuilds from OOB metadata. Use `u32::try_from(x)` (or a
+//!   suppression arguing the value's range) instead.
+//! * **bad-suppression** — a `// sos-lint: allow(…)` comment that does
+//!   not parse, or lacks a justification, is itself a finding.
+//!
+//! All rules except `bad-suppression` honour inline suppressions
+//! ([`crate::suppress`]): `// sos-lint: allow(<rule>, "<why>")`.
 
+use crate::parse::lexer::TokenKind;
+use crate::parse::{SourceFile, Workspace};
+use crate::suppress::SuppressionSet;
 use std::fmt;
-use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must be free of `.unwrap()` / `.expect(`.
@@ -32,6 +47,12 @@ const NO_UNWRAP_CRATES: &[&str] = &["flash", "ftl", "core", "hostfs"];
 const NO_F32_CRATES: &[&str] = &["carbon"];
 /// Crates whose public API must be fully documented.
 const DOC_CRATES: &[&str] = &["core", "ftl"];
+/// Crates whose non-test code must not use truncating `as` casts.
+const NO_LOSSY_CAST_CRATES: &[&str] = &["flash", "ftl"];
+/// The truncating cast targets the no-lossy-cast rule bans.
+const LOSSY_CAST_TARGETS: &[&str] = &["u8", "u16", "u32"];
+/// Macros banned outside test code in every crate.
+const BANNED_MACROS: &[&str] = &["todo", "unimplemented", "dbg"];
 
 /// One lint rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,331 +80,187 @@ impl fmt::Display for LintFinding {
     }
 }
 
-/// A source file prepared for linting: raw lines for doc-comment
-/// detection, cleaned lines (comments and literals blanked) for token
-/// rules, and a per-line in-test flag.
-struct PreparedFile {
-    raw: Vec<String>,
-    cleaned: Vec<String>,
-    in_test: Vec<bool>,
+/// The result of a lint run: surviving findings plus the count of
+/// findings silenced by justified suppressions.
+#[derive(Debug, Clone, Default)]
+pub struct LintOutcome {
+    /// Findings not covered by a suppression, sorted by file and line.
+    pub findings: Vec<LintFinding>,
+    /// Findings silenced by a `sos-lint: allow(…)` comment.
+    pub suppressed: usize,
 }
 
-/// Scanner states for source cleaning.
-#[derive(Clone, Copy, PartialEq)]
-enum ScanState {
-    Normal,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
-    Char,
+/// Runs every lint rule over `root/crates/*/src`, returning findings
+/// sorted by file and line. An empty vector means the tree is clean.
+pub fn run_lints(root: &Path) -> Vec<LintFinding> {
+    run_lints_on(&Workspace::load(root)).findings
 }
 
-/// Blanks comments and string/char literals, preserving line structure.
-/// Doc comments (`///`, `//!`) survive into the cleaned text so the
-/// pub-docs rule can see them; their bodies are blanked like any other
-/// comment.
-fn clean_source(source: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut state = ScanState::Normal;
-    for line in source.lines() {
-        let chars: Vec<char> = line.chars().collect();
-        let mut cleaned = String::with_capacity(chars.len());
-        let mut i = 0usize;
-        if state == ScanState::LineComment {
-            state = ScanState::Normal;
-        }
-        while i < chars.len() {
-            let c = chars[i];
-            let next = chars.get(i + 1).copied();
-            match state {
-                ScanState::Normal => match c {
-                    '/' if next == Some('/') => {
-                        // Preserve the doc-comment marker itself.
-                        let third = chars.get(i + 2).copied();
-                        if third == Some('/') || third == Some('!') {
-                            cleaned.push_str("//");
-                            cleaned.push(third.unwrap_or('/'));
-                        }
-                        state = ScanState::LineComment;
-                        i = chars.len();
-                        continue;
-                    }
-                    '/' if next == Some('*') => {
-                        state = ScanState::BlockComment(1);
-                        cleaned.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    '"' => {
-                        state = ScanState::Str;
-                        cleaned.push(' ');
-                    }
-                    'r' | 'b' if is_raw_string_start(&chars, i) => {
-                        let (hashes, consumed) = raw_string_open(&chars, i);
-                        state = ScanState::RawStr(hashes);
-                        for _ in 0..consumed {
-                            cleaned.push(' ');
-                        }
-                        i += consumed;
-                        continue;
-                    }
-                    '\'' => {
-                        if is_char_literal(&chars, i) {
-                            state = ScanState::Char;
-                        }
-                        cleaned.push(if is_char_literal(&chars, i) {
-                            ' '
-                        } else {
-                            '\''
-                        });
-                    }
-                    _ => cleaned.push(c),
-                },
-                ScanState::LineComment => {
-                    i = chars.len();
-                    continue;
-                }
-                ScanState::BlockComment(depth) => {
-                    if c == '*' && next == Some('/') {
-                        state = if depth == 1 {
-                            ScanState::Normal
-                        } else {
-                            ScanState::BlockComment(depth - 1)
-                        };
-                        cleaned.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    if c == '/' && next == Some('*') {
-                        state = ScanState::BlockComment(depth + 1);
-                        cleaned.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    cleaned.push(' ');
-                }
-                ScanState::Str => {
-                    if c == '\\' {
-                        cleaned.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    if c == '"' {
-                        state = ScanState::Normal;
-                    }
-                    cleaned.push(' ');
-                }
-                ScanState::RawStr(hashes) => {
-                    if c == '"' && closes_raw_string(&chars, i, hashes) {
-                        state = ScanState::Normal;
-                        for _ in 0..=hashes as usize {
-                            cleaned.push(' ');
-                        }
-                        i += 1 + hashes as usize;
-                        continue;
-                    }
-                    cleaned.push(' ');
-                }
-                ScanState::Char => {
-                    if c == '\\' {
-                        cleaned.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    if c == '\'' {
-                        state = ScanState::Normal;
-                    }
-                    cleaned.push(' ');
-                }
-            }
-            i += 1;
-        }
-        out.push(cleaned);
+/// Runs every lint rule over an already-parsed workspace.
+pub fn run_lints_on(workspace: &Workspace) -> LintOutcome {
+    let mut outcome = LintOutcome::default();
+    for file in &workspace.files {
+        lint_file(file, &mut outcome);
     }
-    out
+    outcome
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    outcome
 }
 
-/// Does `r"`, `r#"`, `br"`, … start at `i`?
-fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    let mut j = i;
-    if chars[j] == 'b' {
-        j += 1;
-        if chars.get(j) != Some(&'r') {
-            return false;
-        }
+/// Runs all rules over one parsed file.
+fn lint_file(file: &SourceFile, outcome: &mut LintOutcome) {
+    let suppressions = SuppressionSet::collect(file);
+    for (line, problem) in &suppressions.malformed {
+        // Deliberately not suppressible: a broken suppression must be
+        // fixed, not allowed away.
+        outcome.findings.push(LintFinding {
+            file: file.path.clone(),
+            line: *line,
+            rule: "bad-suppression",
+            message: problem.clone(),
+        });
     }
-    if chars.get(j) != Some(&'r') {
-        return false;
-    }
-    j += 1;
-    while chars.get(j) == Some(&'#') {
-        j += 1;
-    }
-    chars.get(j) == Some(&'"') && (i == 0 || !is_ident_char(chars[i - 1]))
-}
 
-/// Returns (hash count, chars consumed) for a raw-string opener at `i`.
-fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
-    let mut j = i;
-    if chars[j] == 'b' {
-        j += 1;
-    }
-    j += 1; // the 'r'
-    let mut hashes = 0u32;
-    while chars.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
-    }
-    j += 1; // the opening quote
-    (hashes, j - i)
-}
+    let crate_name = file.crate_name.as_str();
+    let check_unwrap = NO_UNWRAP_CRATES.contains(&crate_name);
+    let check_f32 = NO_F32_CRATES.contains(&crate_name);
+    let check_docs = DOC_CRATES.contains(&crate_name);
+    let check_casts = NO_LOSSY_CAST_CRATES.contains(&crate_name);
 
-/// Does a closing `"` at `i` terminate a raw string with `hashes` hashes?
-fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
-}
+    let source = &file.source;
+    let tokens = &file.tokens;
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let idx: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let text_at = |k: usize| tokens[idx[k]].text(source);
 
-/// Distinguishes a char literal from a lifetime at a `'` in position `i`.
-fn is_char_literal(chars: &[char], i: usize) -> bool {
-    match chars.get(i + 1) {
-        Some('\\') => true,
-        Some(_) => chars.get(i + 2) == Some(&'\''),
-        None => false,
-    }
-}
-
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// Marks each line as inside or outside a `#[cfg(test)]` region by
-/// tracking brace depth from the attribute's item.
-fn mark_test_regions(cleaned: &[String]) -> Vec<bool> {
-    let mut in_test = vec![false; cleaned.len()];
-    let mut depth: i64 = 0;
-    let mut pending = false;
-    // (depth to return to, whether the region's opening brace was seen)
-    let mut region: Option<(i64, bool)> = None;
-    for (idx, line) in cleaned.iter().enumerate() {
-        let trimmed = line.trim();
-        if region.is_none() {
-            if trimmed.starts_with("#[cfg(test)]") {
-                pending = true;
-                in_test[idx] = true;
-            } else if pending {
-                in_test[idx] = true;
-                if trimmed.starts_with("#[") {
-                    // Further attributes between cfg(test) and the item.
-                } else if !trimmed.is_empty() {
-                    if line.contains('{') {
-                        region = Some((depth, false));
-                        pending = false;
-                    } else if trimmed.ends_with(';') {
-                        // Single-line item (e.g. a cfg-gated `use`).
-                        pending = false;
-                    }
-                }
-            }
+    let mut emit = |line: usize, rule: &'static str, message: String| {
+        if suppressions.allows(rule, line) {
+            outcome.suppressed += 1;
         } else {
-            in_test[idx] = true;
+            outcome.findings.push(LintFinding {
+                file: file.path.clone(),
+                line,
+                rule,
+                message,
+            });
         }
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    if let Some((_, opened)) = region.as_mut() {
-                        *opened = true;
-                    }
-                }
-                '}' => depth -= 1,
-                _ => {}
+    };
+
+    for k in 0..idx.len() {
+        let token = &tokens[idx[k]];
+        if token.kind != TokenKind::Ident || file.items.line_in_test(token.line) {
+            continue;
+        }
+        let text = token.text(source);
+        let prev = k.checked_sub(1).map(&text_at);
+        let next = (k + 1 < idx.len()).then(|| text_at(k + 1));
+
+        if check_unwrap
+            && matches!(text, "unwrap" | "expect")
+            && prev == Some(".")
+            && next == Some("(")
+        {
+            emit(
+                token.line,
+                "no-unwrap",
+                format!(".{text}() in non-test storage-stack code"),
+            );
+        }
+        if check_f32 && text == "f32" {
+            emit(
+                token.line,
+                "no-f32",
+                "f32 in carbon accounting (use f64)".to_string(),
+            );
+        }
+        if text == "sleep" && prev == Some("::") && k.checked_sub(2).map(&text_at) == Some("thread")
+        {
+            emit(
+                token.line,
+                "no-sleep",
+                "std::thread::sleep in simulation code".to_string(),
+            );
+        }
+        if BANNED_MACROS.contains(&text)
+            && next == Some("!")
+            && (k + 2 < idx.len())
+            && matches!(text_at(k + 2), "(" | "[" | "{")
+        {
+            emit(
+                token.line,
+                "no-debug-macros",
+                format!("{text}!() in non-test code"),
+            );
+        }
+        if check_casts && text == "as" {
+            if let Some(target) = next.filter(|n| LOSSY_CAST_TARGETS.contains(n)) {
+                emit(
+                    token.line,
+                    "no-lossy-cast",
+                    format!(
+                        "lossy `as {target}` cast in storage-stack code (use {target}::try_from)"
+                    ),
+                );
             }
         }
-        if let Some((return_depth, opened)) = region {
-            in_test[idx] = true;
-            if opened && depth <= return_depth {
-                region = None;
-            }
+        if check_docs
+            && text == "pub"
+            && is_line_start(tokens, &idx, k)
+            && documentable_item(&idx, k, tokens, source)
+            && !has_doc_comment(&raw_lines, token.line)
+        {
+            emit(
+                token.line,
+                "pub-docs",
+                format!(
+                    "undocumented public item: {}",
+                    item_signature(file, token.line)
+                ),
+            );
         }
     }
-    in_test
 }
 
-fn prepare(source: &str) -> PreparedFile {
-    let raw: Vec<String> = source.lines().map(str::to_string).collect();
-    let cleaned = clean_source(source);
-    let in_test = mark_test_regions(&cleaned);
-    PreparedFile {
-        raw,
-        cleaned,
-        in_test,
+/// Is the token at `idx[k]` the first non-comment token on its line?
+fn is_line_start(tokens: &[crate::parse::lexer::Token], idx: &[usize], k: usize) -> bool {
+    match k.checked_sub(1) {
+        None => true,
+        Some(prev) => tokens[idx[prev]].line != tokens[idx[k]].line,
     }
 }
 
-/// Does `needle` occur in `haystack` as a standalone token (not inside
-/// a longer identifier)?
-fn has_token(haystack: &str, needle: &str) -> bool {
-    let bytes = haystack.as_bytes();
-    let mut start = 0usize;
-    while let Some(pos) = haystack[start..].find(needle) {
-        let begin = start + pos;
-        let end = begin + needle.len();
-        let before_ok = begin == 0 || !is_ident_char(bytes[begin - 1] as char);
-        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end] as char);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = end;
+/// Does `pub` at `idx[k]` introduce an item the pub-docs rule covers?
+/// Matches the documentable set: `pub [async|unsafe|const] fn`,
+/// `pub struct/enum/trait/mod/const/static/type/union` — and skips
+/// `pub mod name;` (an external module documented by `//!` in its own
+/// file).
+fn documentable_item(
+    idx: &[usize],
+    k: usize,
+    tokens: &[crate::parse::lexer::Token],
+    source: &str,
+) -> bool {
+    let text_at = |j: usize| idx.get(j).map(|&i| tokens[i].text(source));
+    match text_at(k + 1) {
+        Some("fn" | "struct" | "enum" | "trait" | "const" | "static" | "type" | "union") => true,
+        Some("async" | "unsafe") => text_at(k + 2) == Some("fn"),
+        // `pub mod name;` → external file, skip; `pub mod name {` →
+        // inline, documentable.
+        Some("mod") => text_at(k + 3) != Some(";"),
+        _ => false,
     }
-    false
 }
 
-/// Does `line` invoke the macro `name` (`name!(…)`, `name![…]` or
-/// `name!{…}`) as a standalone token?
-fn has_macro(line: &str, name: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut start = 0usize;
-    while let Some(pos) = line[start..].find(name) {
-        let begin = start + pos;
-        let end = begin + name.len();
-        let before_ok = begin == 0 || !is_ident_char(bytes[begin - 1] as char);
-        let bang = bytes.get(end) == Some(&b'!');
-        let opener = matches!(bytes.get(end + 1), Some(b'(' | b'[' | b'{'));
-        if before_ok && bang && opener {
-            return true;
-        }
-        start = end;
-    }
-    false
-}
-
-/// Macros banned outside test code in every crate.
-const BANNED_MACROS: &[&str] = &["todo", "unimplemented", "dbg"];
-
-/// Keywords that begin a documentable `pub` item.
-const PUB_ITEM_STARTS: &[&str] = &[
-    "pub fn ",
-    "pub async fn ",
-    "pub unsafe fn ",
-    "pub const fn ",
-    "pub struct ",
-    "pub enum ",
-    "pub trait ",
-    "pub mod ",
-    "pub const ",
-    "pub static ",
-    "pub type ",
-    "pub union ",
-];
-
-/// Is the raw line at `idx` preceded by a doc comment (allowing
-/// attribute lines in between)?
-fn has_doc_comment(raw: &[String], idx: usize) -> bool {
-    let mut i = idx;
+/// Is the item on 1-based `line` preceded by a doc comment, allowing
+/// attribute lines (and multi-line attribute tails) in between?
+fn has_doc_comment(raw_lines: &[&str], line: usize) -> bool {
+    let mut i = line.saturating_sub(1); // index of the item line
     while i > 0 {
         i -= 1;
-        let trimmed = raw[i].trim();
+        let trimmed = raw_lines[i].trim();
         if trimmed.starts_with("#[") || trimmed.starts_with(')') || trimmed.starts_with(']') {
             continue;
         }
@@ -392,217 +269,183 @@ fn has_doc_comment(raw: &[String], idx: usize) -> bool {
     false
 }
 
-fn lint_file(relative: &Path, prepared: &PreparedFile, findings: &mut Vec<LintFinding>) {
-    let crate_name = relative
-        .components()
-        .nth(1)
-        .map(|c| c.as_os_str().to_string_lossy().to_string())
-        .unwrap_or_default();
-    let check_unwrap = NO_UNWRAP_CRATES.contains(&crate_name.as_str());
-    let check_f32 = NO_F32_CRATES.contains(&crate_name.as_str());
-    let check_docs = DOC_CRATES.contains(&crate_name.as_str());
-    for (idx, line) in prepared.cleaned.iter().enumerate() {
-        if prepared.in_test[idx] {
+/// The item signature for a pub-docs message: the raw line with
+/// string/char literals and comments blanked, cut at the opening brace.
+fn item_signature(file: &SourceFile, line: usize) -> String {
+    let text = file.line_text(line);
+    // Byte offset where this line starts in the file.
+    let line_start = file
+        .source
+        .lines()
+        .take(line.saturating_sub(1))
+        .map(|l| l.len() + 1)
+        .sum::<usize>();
+    let line_end = line_start + text.len();
+    let mut cleaned: Vec<char> = text.chars().collect();
+    for token in &file.tokens {
+        let blank = matches!(token.kind, TokenKind::Str | TokenKind::Char) || token.is_comment();
+        if !blank || token.end <= line_start || token.start >= line_end {
             continue;
         }
-        let number = idx + 1;
-        if check_unwrap {
-            if line.contains(".unwrap()") {
-                findings.push(LintFinding {
-                    file: relative.to_path_buf(),
-                    line: number,
-                    rule: "no-unwrap",
-                    message: ".unwrap() in non-test storage-stack code".to_string(),
-                });
+        let from = token.start.max(line_start) - line_start;
+        let to = token.end.min(line_end) - line_start;
+        // Byte offsets equal char offsets only for ASCII; walk chars.
+        let mut byte = 0usize;
+        for slot in cleaned.iter_mut() {
+            if byte >= from && byte < to {
+                *slot = ' ';
             }
-            if line.contains(".expect(") {
-                findings.push(LintFinding {
-                    file: relative.to_path_buf(),
-                    line: number,
-                    rule: "no-unwrap",
-                    message: ".expect() in non-test storage-stack code".to_string(),
-                });
-            }
-        }
-        if check_f32 && has_token(line, "f32") {
-            findings.push(LintFinding {
-                file: relative.to_path_buf(),
-                line: number,
-                rule: "no-f32",
-                message: "f32 in carbon accounting (use f64)".to_string(),
-            });
-        }
-        if line.contains("thread::sleep") {
-            findings.push(LintFinding {
-                file: relative.to_path_buf(),
-                line: number,
-                rule: "no-sleep",
-                message: "std::thread::sleep in simulation code".to_string(),
-            });
-        }
-        for name in BANNED_MACROS {
-            if has_macro(line, name) {
-                findings.push(LintFinding {
-                    file: relative.to_path_buf(),
-                    line: number,
-                    rule: "no-debug-macros",
-                    message: format!("{name}!() in non-test code"),
-                });
-            }
-        }
-        if check_docs {
-            let trimmed = line.trim_start();
-            let is_pub_item = PUB_ITEM_STARTS
-                .iter()
-                .any(|start| trimmed.starts_with(start));
-            // `pub mod name;` re-declares an external module whose docs
-            // live as `//!` inside its own file; only inline modules
-            // need a doc comment at the declaration.
-            let external_mod = trimmed.starts_with("pub mod ") && trimmed.trim_end().ends_with(';');
-            if is_pub_item && !external_mod && !has_doc_comment(&prepared.raw, idx) {
-                findings.push(LintFinding {
-                    file: relative.to_path_buf(),
-                    line: number,
-                    rule: "pub-docs",
-                    message: format!(
-                        "undocumented public item: {}",
-                        trimmed.split('{').next().unwrap_or(trimmed).trim()
-                    ),
-                });
-            }
+            byte += slot.len_utf8();
         }
     }
-}
-
-fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            collect_rust_files(&path, out);
-        } else if path.extension().is_some_and(|ext| ext == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Runs every lint rule over `root/crates/*/src`, returning findings
-/// sorted by file and line. An empty vector means the tree is clean.
-pub fn run_lints(root: &Path) -> Vec<LintFinding> {
-    let mut findings = Vec::new();
-    let crates_dir = root.join("crates");
-    let Ok(entries) = fs::read_dir(&crates_dir) else {
-        return findings;
-    };
-    let mut crate_dirs: Vec<PathBuf> = entries
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| p.is_dir())
-        .collect();
-    crate_dirs.sort();
-    for crate_dir in crate_dirs {
-        let src = crate_dir.join("src");
-        let mut files = Vec::new();
-        collect_rust_files(&src, &mut files);
-        for file in files {
-            let Ok(source) = fs::read_to_string(&file) else {
-                continue;
-            };
-            let relative = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-            let prepared = prepare(&source);
-            lint_file(&relative, &prepared, &mut findings);
-        }
-    }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    findings
+    let cleaned: String = cleaned.into_iter().collect();
+    cleaned
+        .trim_start()
+        .split('{')
+        .next()
+        .unwrap_or("")
+        .trim()
+        .to_string()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parse::Workspace;
 
-    fn prepared(src: &str) -> PreparedFile {
-        prepare(src)
+    fn lint(crate_name: &str, src: &str) -> LintOutcome {
+        let path = format!("crates/{crate_name}/src/x.rs");
+        run_lints_on(&Workspace::from_sources(&[(crate_name, &path, src)]))
+    }
+
+    fn rules(outcome: &LintOutcome, rule: &str) -> Vec<usize> {
+        outcome
+            .findings
+            .iter()
+            .filter(|f| f.rule == rule)
+            .map(|f| f.line)
+            .collect()
     }
 
     #[test]
-    fn strings_and_comments_are_blanked() {
-        let p = prepared("let x = \".unwrap()\"; // .unwrap()\n");
-        assert!(!p.cleaned[0].contains(".unwrap()"));
-    }
-
-    #[test]
-    fn doc_markers_survive_cleaning() {
-        let p = prepared("/// docs here\npub fn f() {}\n");
-        assert!(p.cleaned[0].trim_start().starts_with("///"));
-    }
-
-    #[test]
-    fn test_regions_are_marked() {
-        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
-        let p = prepared(src);
-        assert!(!p.in_test[0]);
-        assert!(p.in_test[1] && p.in_test[2] && p.in_test[3] && p.in_test[4]);
-        assert!(!p.in_test[5]);
+    fn strings_and_comments_cannot_trip_rules() {
+        let out = lint(
+            "ftl",
+            "fn f() {\n    let s = \".unwrap()\"; // .unwrap()\n    let _ = s;\n}\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
     }
 
     #[test]
     fn unwrap_rule_fires_outside_tests_only() {
         let src =
-            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
-        let p = prepared(src);
-        let mut findings = Vec::new();
-        lint_file(Path::new("crates/ftl/src/x.rs"), &p, &mut findings);
-        let unwraps: Vec<_> = findings.iter().filter(|f| f.rule == "no-unwrap").collect();
-        assert_eq!(unwraps.len(), 1);
-        assert_eq!(unwraps[0].line, 1);
+            "fn live(x: Option<u32>) { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t(y: Option<u32>) { y.unwrap(); }\n}\n";
+        let out = lint("ftl", src);
+        assert_eq!(rules(&out, "no-unwrap"), vec![1]);
+    }
+
+    #[test]
+    fn multi_line_unwrap_is_caught() {
+        // rustfmt splits long chains; the dot lands on the line before.
+        let src = "fn live(x: Option<u32>) -> u32 {\n    x.map(|v| v + 1)\n        .unwrap()\n}\n";
+        let out = lint("flash", src);
+        assert_eq!(rules(&out, "no-unwrap"), vec![3]);
+        let src2 =
+            "fn live(x: Option<u32>) -> u32 {\n    x.expect(\n        \"present\",\n    )\n}\n";
+        let out2 = lint("flash", src2);
+        assert_eq!(rules(&out2, "no-unwrap"), vec![2]);
+    }
+
+    #[test]
+    fn any_and_all_cfg_test_regions_are_recognized() {
+        for gate in [
+            "#[cfg(test)]",
+            "#[cfg(any(test, feature = \"x\"))]",
+            "#[cfg(all(test, unix))]",
+        ] {
+            let src =
+                format!("{gate}\nmod helpers {{\n    fn t(y: Option<u32>) {{ y.unwrap(); }}\n}}\n");
+            let out = lint("ftl", &src);
+            assert!(out.findings.is_empty(), "{gate}: {:?}", out.findings);
+        }
+        // …but cfg(not(test)) code is live.
+        let src = "#[cfg(not(test))]\nmod live {\n    fn f(y: Option<u32>) { y.unwrap(); }\n}\n";
+        let out = lint("ftl", src);
+        assert_eq!(rules(&out, "no-unwrap"), vec![3]);
     }
 
     #[test]
     fn debug_macros_banned_outside_tests_in_any_crate() {
         let src = "fn live() { todo!(); }\nfn log(x: u32) { dbg!(x); }\nfn soon() { unimplemented!(\"later\") }\nfn fine() { my_todo!(); idbg!(1); }\n#[cfg(test)]\nmod tests {\n    fn t() { todo!() }\n}\n";
-        let p = prepared(src);
-        let mut findings = Vec::new();
-        // `workload` is in no special crate list: the rule is global.
-        lint_file(Path::new("crates/workload/src/x.rs"), &p, &mut findings);
-        let macros: Vec<_> = findings
-            .iter()
-            .filter(|f| f.rule == "no-debug-macros")
-            .collect();
-        assert_eq!(macros.len(), 3, "{macros:?}");
-        assert_eq!(
-            macros.iter().map(|f| f.line).collect::<Vec<_>>(),
-            vec![1, 2, 3]
-        );
+        let out = lint("workload", src);
+        assert_eq!(rules(&out, "no-debug-macros"), vec![1, 2, 3]);
     }
 
     #[test]
-    fn f32_token_matching_is_exact() {
-        assert!(has_token("let x: f32 = 0.0;", "f32"));
-        assert!(!has_token("let x = my_f32_thing;", "f32"));
-        assert!(!has_token("let x: f64 = 0.0;", "f32"));
+    fn sleep_rule_requires_exact_path_tokens() {
+        let out = lint("workload", "fn f() { std::thread::sleep(d); }\n");
+        assert_eq!(rules(&out, "no-sleep"), vec![1]);
+        // Exact token match: `my_thread::sleep` is not std's sleep.
+        let out2 = lint("workload", "fn f() { my_thread::sleep(d); }\n");
+        assert!(rules(&out2, "no-sleep").is_empty());
+    }
+
+    #[test]
+    fn f32_rule_is_exact_and_carbon_only() {
+        let out = lint("carbon", "fn f(x: f32) -> f64 { my_f32_thing(x) as f64 }\n");
+        assert_eq!(rules(&out, "no-f32"), vec![1]);
+        let out2 = lint("ftl", "fn f(x: f32) {}\n");
+        assert!(rules(&out2, "no-f32").is_empty());
+    }
+
+    #[test]
+    fn lossy_casts_banned_in_flash_and_ftl_only() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\nfn g(x: u64) -> u64 { x as u64 }\nfn h(x: u32) -> u8 { (x & 0xff) as u8 }\n";
+        let out = lint("ftl", src);
+        assert_eq!(rules(&out, "no-lossy-cast"), vec![1, 3]);
+        let out2 = lint("carbon", src);
+        assert!(rules(&out2, "no-lossy-cast").is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_suppression_needs_justification() {
+        let src = "fn f(x: u64) -> u32 {\n    x as u32 // sos-lint: allow(no-lossy-cast, \"x is a block index < 2^20\")\n}\n";
+        let out = lint("ftl", src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.suppressed, 1);
+        let bad = "fn f(x: u64) -> u32 {\n    x as u32 // sos-lint: allow(no-lossy-cast)\n}\n";
+        let out2 = lint("ftl", bad);
+        assert_eq!(rules(&out2, "bad-suppression"), vec![2]);
+        assert_eq!(rules(&out2, "no-lossy-cast"), vec![2]);
     }
 
     #[test]
     fn pub_docs_rule_requires_doc_comment() {
         let src = "/// documented\npub fn good() {}\npub fn bad() {}\n";
-        let p = prepared(src);
-        let mut findings = Vec::new();
-        lint_file(Path::new("crates/core/src/x.rs"), &p, &mut findings);
-        let docs: Vec<_> = findings.iter().filter(|f| f.rule == "pub-docs").collect();
+        let out = lint("core", src);
+        let docs: Vec<&LintFinding> = out
+            .findings
+            .iter()
+            .filter(|f| f.rule == "pub-docs")
+            .collect();
         assert_eq!(docs.len(), 1);
         assert_eq!(docs[0].line, 3);
+        assert_eq!(docs[0].message, "undocumented public item: pub fn bad()");
     }
 
     #[test]
     fn attributes_between_doc_and_item_are_allowed() {
         let src = "/// documented\n#[derive(Debug)]\npub struct S;\n";
-        let p = prepared(src);
-        let mut findings = Vec::new();
-        lint_file(Path::new("crates/core/src/x.rs"), &p, &mut findings);
-        assert!(findings.iter().all(|f| f.rule != "pub-docs"));
+        let out = lint("core", src);
+        assert!(rules(&out, "pub-docs").is_empty());
+    }
+
+    #[test]
+    fn external_pub_mod_declaration_needs_no_doc() {
+        let out = lint(
+            "core",
+            "pub mod device;\n/// inline\npub mod helpers { }\npub mod bare { }\n",
+        );
+        assert_eq!(rules(&out, "pub-docs"), vec![4]);
     }
 }

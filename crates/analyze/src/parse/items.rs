@@ -1,0 +1,662 @@
+//! Item extraction over the token stream: function definitions, `impl`
+//! blocks, inline modules and `#[cfg(test)]` regions, discovered by
+//! brace structure rather than by line prefixes.
+//!
+//! This is not a full parser — it is exactly the structural layer the
+//! analyzer needs: *which functions exist, who owns them, where their
+//! bodies start and end, and which lines are test-only*. A single pass
+//! walks the non-comment tokens with a scope stack; every `{` pushes a
+//! scope (annotated when it is the body of a pending `fn` / `impl` /
+//! `mod` / `trait` item), every `}` pops one.
+//!
+//! Test regions cover all attribute forms whose predicate requires
+//! `cfg(test)` to be satisfied on the obvious path: `#[cfg(test)]`,
+//! `#[cfg(any(test, …))]` and `#[cfg(all(test, …))]` — any `test`
+//! ident inside the `cfg` predicate that is not wrapped in `not(…)`
+//! marks the item as test-gated. `#[test]` marks the function itself.
+
+use super::lexer::{Token, TokenKind};
+
+/// One function (or method) definition found in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` or `trait` type the function is defined on, if any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based line of the body's closing brace (or of the signature
+    /// for bodyless declarations).
+    pub end_line: usize,
+    /// Whether the function is test-only: inside a `cfg(test)` region
+    /// or carrying a `#[test]` attribute.
+    pub is_test: bool,
+    /// Whether the parameter list has a `self` receiver — i.e. the fn
+    /// is callable with method syntax. Associated functions without
+    /// `self` (constructors, `SuppressionSet::collect(file)`) are not.
+    pub has_self: bool,
+    /// Token-index range of the body, `[open brace, close brace]`
+    /// inclusive. `None` for bodyless trait/extern declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// `Owner::name` or bare `name` — the label used in call chains.
+    pub fn qualified_name(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{owner}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Structural facts about one file: its functions and test regions.
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    /// Every function definition, in source order.
+    pub fns: Vec<FnItem>,
+    /// Inclusive 1-based line ranges gated behind `cfg(test)` (or a
+    /// `#[test]` attribute), including the attribute lines themselves.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl FileItems {
+    /// Is `line` inside a test-only region?
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(start, end)| line >= start && line <= end)
+    }
+}
+
+/// Attribute facts accumulated while scanning an item's prelude.
+#[derive(Debug, Clone, Copy, Default)]
+struct AttrPending {
+    /// Line of the first attribute in the run.
+    start_line: usize,
+    /// A `cfg` predicate requiring `test` was seen.
+    cfg_test: bool,
+    /// A bare `#[test]` attribute was seen.
+    fn_test: bool,
+}
+
+/// The item kind a scanned keyword opened, awaiting its `{` or `;`.
+#[derive(Debug, Clone)]
+enum PendingKind {
+    Fn {
+        name: Option<String>,
+        line: usize,
+        has_self: bool,
+    },
+    Impl {
+        idents: Vec<String>,
+        angle: i32,
+        done: bool,
+    },
+    Mod,
+    Trait {
+        name: Option<String>,
+    },
+    /// Any other attributed item (`use`, `struct`, `static`, …): only
+    /// tracked so its cfg(test) span can be recorded.
+    Other,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    kind: PendingKind,
+    attr: Option<AttrPending>,
+    paren_base: i32,
+    bracket_base: i32,
+}
+
+/// One open `{` on the scope stack.
+#[derive(Debug, Clone)]
+struct Scope {
+    owner: Option<String>,
+    is_test: bool,
+    /// This scope is the root of a test region whose span should be
+    /// recorded when it closes.
+    test_root: bool,
+    start_line: usize,
+    /// Index into `FileItems::fns` when this scope is a function body.
+    fn_index: Option<usize>,
+}
+
+/// Keywords that may precede an item keyword within its prelude.
+const PRELUDE_WORDS: &[&str] = &[
+    "pub", "crate", "unsafe", "async", "const", "extern", "default",
+];
+
+/// Extracts functions and test regions from a lexed file.
+pub fn extract(source: &str, tokens: &[Token]) -> FileItems {
+    let mut items = FileItems::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut attr: Option<AttrPending> = None;
+    let mut paren_depth = 0i32;
+    let mut bracket_depth = 0i32;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let token = &tokens[i];
+        if token.is_comment() {
+            i += 1;
+            continue;
+        }
+        let text = token.text(source);
+        // Attribute groups are consumed whole so their contents never
+        // disturb depth tracking or keyword detection.
+        if token.kind == TokenKind::Punct && text == "#" {
+            if let Some((inner, after)) = attr_group(source, tokens, i) {
+                let entry = attr.get_or_insert(AttrPending {
+                    start_line: token.line,
+                    ..AttrPending::default()
+                });
+                let (cfg_test, fn_test) = classify_attr(&inner);
+                entry.cfg_test |= cfg_test;
+                entry.fn_test |= fn_test;
+                i = after;
+                continue;
+            }
+        }
+        match token.kind {
+            TokenKind::Ident => {
+                let upgrade = matches!(
+                    pending,
+                    None | Some(Pending {
+                        kind: PendingKind::Other,
+                        ..
+                    })
+                );
+                match text {
+                    "fn" if upgrade => {
+                        let carried = pending.take().and_then(|p| p.attr).or_else(|| attr.take());
+                        pending = Some(Pending {
+                            kind: PendingKind::Fn {
+                                name: None,
+                                line: token.line,
+                                has_self: false,
+                            },
+                            attr: carried,
+                            paren_base: paren_depth,
+                            bracket_base: bracket_depth,
+                        });
+                    }
+                    "impl" if upgrade => {
+                        let carried = pending.take().and_then(|p| p.attr).or_else(|| attr.take());
+                        pending = Some(Pending {
+                            kind: PendingKind::Impl {
+                                idents: Vec::new(),
+                                angle: 0,
+                                done: false,
+                            },
+                            attr: carried,
+                            paren_base: paren_depth,
+                            bracket_base: bracket_depth,
+                        });
+                    }
+                    "mod" if upgrade => {
+                        let carried = pending.take().and_then(|p| p.attr).or_else(|| attr.take());
+                        pending = Some(Pending {
+                            kind: PendingKind::Mod,
+                            attr: carried,
+                            paren_base: paren_depth,
+                            bracket_base: bracket_depth,
+                        });
+                    }
+                    "trait" if upgrade => {
+                        let carried = pending.take().and_then(|p| p.attr).or_else(|| attr.take());
+                        pending = Some(Pending {
+                            kind: PendingKind::Trait { name: None },
+                            attr: carried,
+                            paren_base: paren_depth,
+                            bracket_base: bracket_depth,
+                        });
+                    }
+                    _ => match pending.as_mut() {
+                        Some(Pending {
+                            kind: PendingKind::Fn { name, has_self, .. },
+                            paren_base,
+                            ..
+                        }) => {
+                            if name.is_none() {
+                                *name = Some(text.to_string());
+                            } else if text == "self" && paren_depth > *paren_base {
+                                *has_self = true;
+                            }
+                        }
+                        Some(Pending {
+                            kind:
+                                PendingKind::Impl {
+                                    idents,
+                                    angle,
+                                    done,
+                                },
+                            ..
+                        }) if *angle == 0 => {
+                            if text == "for" {
+                                idents.clear();
+                            } else if text == "where" {
+                                *done = true;
+                            } else if !*done && text != "dyn" && text != "unsafe" {
+                                idents.push(text.to_string());
+                            }
+                        }
+                        Some(Pending {
+                            kind: PendingKind::Trait { name },
+                            ..
+                        }) if name.is_none() => *name = Some(text.to_string()),
+                        None if attr.is_some() && !PRELUDE_WORDS.contains(&text) => {
+                            // Some other attributed item (`use`, `struct`,
+                            // `static`…): keep the attr until `{` or `;`.
+                            pending = Some(Pending {
+                                kind: PendingKind::Other,
+                                attr: attr.take(),
+                                paren_base: paren_depth,
+                                bracket_base: bracket_depth,
+                            });
+                        }
+                        _ => {}
+                    },
+                }
+            }
+            TokenKind::Punct => match text {
+                "(" => {
+                    // `fn(...)` with no name is a function-pointer type,
+                    // not a definition.
+                    if matches!(
+                        pending,
+                        Some(Pending {
+                            kind: PendingKind::Fn { name: None, .. },
+                            ..
+                        })
+                    ) {
+                        pending = None;
+                    }
+                    paren_depth += 1;
+                }
+                ")" => paren_depth -= 1,
+                "[" => bracket_depth += 1,
+                "]" => bracket_depth -= 1,
+                "<" => {
+                    if let Some(Pending {
+                        kind: PendingKind::Impl { angle, .. },
+                        ..
+                    }) = pending.as_mut()
+                    {
+                        *angle += 1;
+                    }
+                }
+                ">" => {
+                    if let Some(Pending {
+                        kind: PendingKind::Impl { angle, .. },
+                        ..
+                    }) = pending.as_mut()
+                    {
+                        *angle = (*angle - 1).max(0);
+                    }
+                }
+                "{" => {
+                    let inherited_owner = scopes.last().and_then(|s| s.owner.clone());
+                    let inherited_test = scopes.last().is_some_and(|s| s.is_test);
+                    let at_base = pending.as_ref().is_some_and(|p| {
+                        p.paren_base == paren_depth && p.bracket_base == bracket_depth
+                    });
+                    let scope = if at_base {
+                        let taken = pending.take();
+                        match taken {
+                            Some(p) => pending_scope(
+                                p,
+                                token,
+                                inherited_owner,
+                                inherited_test,
+                                &mut items,
+                                i,
+                            ),
+                            None => inherit_scope(inherited_owner, inherited_test, token.line),
+                        }
+                    } else {
+                        inherit_scope(inherited_owner, inherited_test, token.line)
+                    };
+                    scopes.push(scope);
+                }
+                "}" => {
+                    pending = None;
+                    if let Some(scope) = scopes.pop() {
+                        if let Some(index) = scope.fn_index {
+                            items.fns[index].end_line = token.line;
+                            if let Some((start, _)) = items.fns[index].body {
+                                items.fns[index].body = Some((start, i));
+                            }
+                        }
+                        if scope.test_root {
+                            items.test_spans.push((scope.start_line, token.line));
+                        }
+                    }
+                }
+                ";" => {
+                    let at_base = pending.as_ref().is_some_and(|p| {
+                        p.paren_base == paren_depth && p.bracket_base == bracket_depth
+                    });
+                    if at_base {
+                        if let Some(p) = pending.take() {
+                            let attr_test = p.attr.is_some_and(|a| a.cfg_test || a.fn_test);
+                            let in_test = scopes.last().is_some_and(|s| s.is_test);
+                            if let PendingKind::Fn {
+                                name: Some(name),
+                                line,
+                                has_self,
+                            } = &p.kind
+                            {
+                                // Bodyless declaration (trait / extern).
+                                items.fns.push(FnItem {
+                                    name: name.clone(),
+                                    owner: scopes.last().and_then(|s| s.owner.clone()),
+                                    line: *line,
+                                    end_line: token.line,
+                                    is_test: in_test || attr_test,
+                                    has_self: *has_self,
+                                    body: None,
+                                });
+                            }
+                            if attr_test && !in_test {
+                                let start = p.attr.map_or(token.line, |a| a.start_line);
+                                items.test_spans.push((start, token.line));
+                            }
+                        }
+                    }
+                }
+                // A comma at item depth ends field/arm attributes
+                // that never grew into a braced item.
+                "," if pending.as_ref().is_some_and(|p| {
+                    matches!(p.kind, PendingKind::Other)
+                        && p.paren_base == paren_depth
+                        && p.bracket_base == bracket_depth
+                }) =>
+                {
+                    pending = None;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    items.test_spans.sort_unstable();
+    items
+}
+
+/// Builds the scope a pending item's `{` opens, recording the item.
+fn pending_scope(
+    p: Pending,
+    brace: &Token,
+    inherited_owner: Option<String>,
+    inherited_test: bool,
+    items: &mut FileItems,
+    brace_index: usize,
+) -> Scope {
+    let attr_test = p.attr.is_some_and(|a| a.cfg_test || a.fn_test);
+    let is_test = inherited_test || attr_test;
+    let test_root = attr_test && !inherited_test;
+    let start_line = p.attr.map_or(brace.line, |a| a.start_line);
+    match p.kind {
+        PendingKind::Fn {
+            name,
+            line,
+            has_self,
+        } => {
+            let name = name.unwrap_or_else(|| "<anonymous>".to_string());
+            items.fns.push(FnItem {
+                name,
+                owner: inherited_owner.clone(),
+                line,
+                end_line: line,
+                is_test,
+                has_self,
+                body: Some((brace_index, brace_index)),
+            });
+            Scope {
+                owner: inherited_owner,
+                is_test,
+                test_root,
+                start_line: p.attr.map_or(line, |a| a.start_line),
+                fn_index: Some(items.fns.len() - 1),
+            }
+        }
+        PendingKind::Impl { idents, .. } => Scope {
+            owner: idents.last().cloned().or(inherited_owner),
+            is_test,
+            test_root,
+            start_line,
+            fn_index: None,
+        },
+        PendingKind::Trait { name } => Scope {
+            owner: name.or(inherited_owner),
+            is_test,
+            test_root,
+            start_line,
+            fn_index: None,
+        },
+        PendingKind::Mod => Scope {
+            owner: None,
+            is_test,
+            test_root,
+            start_line,
+            fn_index: None,
+        },
+        PendingKind::Other => Scope {
+            owner: inherited_owner,
+            is_test,
+            test_root,
+            start_line,
+            fn_index: None,
+        },
+    }
+}
+
+fn inherit_scope(owner: Option<String>, is_test: bool, line: usize) -> Scope {
+    Scope {
+        owner,
+        is_test,
+        test_root: false,
+        start_line: line,
+        fn_index: None,
+    }
+}
+
+/// Consumes an attribute group `#[…]` (or inner `#![…]`) starting at
+/// token `i`; returns the inner token texts and the index just past the
+/// closing `]`.
+fn attr_group(source: &str, tokens: &[Token], i: usize) -> Option<(Vec<String>, usize)> {
+    let mut j = i + 1;
+    while j < tokens.len() && tokens[j].is_comment() {
+        j += 1;
+    }
+    if j < tokens.len() && tokens[j].kind == TokenKind::Punct && tokens[j].text(source) == "!" {
+        j += 1;
+        while j < tokens.len() && tokens[j].is_comment() {
+            j += 1;
+        }
+    }
+    if j >= tokens.len() || tokens[j].text(source) != "[" {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut inner = Vec::new();
+    while j < tokens.len() {
+        let text = tokens[j].text(source);
+        if tokens[j].kind == TokenKind::Punct {
+            match text {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((inner, j + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if depth > 0 && !(depth == 1 && text == "[") {
+            inner.push(text.to_string());
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Classifies an attribute's inner tokens: `(requires cfg(test),
+/// is #[test])`. A `test` ident anywhere inside a `cfg` predicate
+/// counts unless it sits inside `not(…)`.
+fn classify_attr(inner: &[String]) -> (bool, bool) {
+    let first = inner.first().map(String::as_str);
+    if first == Some("test") && inner.len() == 1 {
+        return (false, true);
+    }
+    if first != Some("cfg") {
+        return (false, false);
+    }
+    let mut not_stack: Vec<bool> = Vec::new();
+    let mut cfg_test = false;
+    let mut k = 1usize;
+    while k < inner.len() {
+        let word = inner[k].as_str();
+        match word {
+            "(" => not_stack.push(inner.get(k.wrapping_sub(1)).is_some_and(|w| w == "not")),
+            ")" => {
+                not_stack.pop();
+            }
+            "test" if !not_stack.iter().any(|&n| n) => cfg_test = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    (cfg_test, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex;
+    use super::*;
+
+    fn items_of(src: &str) -> FileItems {
+        extract(src, &lex(src))
+    }
+
+    #[test]
+    fn free_and_method_fns_are_found() {
+        let src =
+            "fn free() {}\nimpl Ftl {\n    fn method(&self) {}\n    pub fn other(&self) {}\n}\n";
+        let items = items_of(src);
+        let names: Vec<String> = items.fns.iter().map(|f| f.qualified_name()).collect();
+        assert_eq!(names, vec!["free", "Ftl::method", "Ftl::other"]);
+        assert_eq!(items.fns[1].line, 3);
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let src = "impl fmt::Display for Violation {\n    fn fmt(&self) {}\n}\nimpl<'a> Iterator for StripeIter<'a> {\n    fn next(&mut self) {}\n}\n";
+        let items = items_of(src);
+        let names: Vec<String> = items.fns.iter().map(|f| f.qualified_name()).collect();
+        assert_eq!(names, vec!["Violation::fmt", "StripeIter::next"]);
+    }
+
+    #[test]
+    fn trait_default_methods_and_declarations() {
+        let src =
+            "trait Auditor {\n    fn name(&self) -> &str;\n    fn audit(&self) -> u32 { 0 }\n}\n";
+        let items = items_of(src);
+        assert_eq!(items.fns.len(), 2);
+        assert_eq!(items.fns[0].qualified_name(), "Auditor::name");
+        assert!(items.fns[0].body.is_none());
+        assert_eq!(items.fns[1].qualified_name(), "Auditor::audit");
+        assert!(items.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_its_whole_span() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    use super::*;\n    #[test]\n    fn t() {}\n}\nfn after() {}\n";
+        let items = items_of(src);
+        assert!(!items.line_in_test(1));
+        for line in 2..=7 {
+            assert!(items.line_in_test(line), "line {line}");
+        }
+        assert!(!items.line_in_test(8));
+        let t = items.fns.iter().find(|f| f.name == "t").expect("t");
+        assert!(t.is_test);
+        let live = items.fns.iter().find(|f| f.name == "live").expect("live");
+        assert!(!live.is_test);
+    }
+
+    #[test]
+    fn cfg_any_and_all_forms_count_as_test() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn helper() {}\n#[cfg(all(test, unix))]\nmod both {\n    fn inner() {}\n}\n#[cfg(not(test))]\nfn live() {}\n#[cfg(any(not(test), unix))]\nfn also_live() {}\n";
+        let items = items_of(src);
+        assert!(items.line_in_test(1) && items.line_in_test(2));
+        assert!(items.line_in_test(3) && items.line_in_test(5));
+        assert!(!items.line_in_test(8), "not(test) is not a test region");
+        assert!(!items.line_in_test(10), "test under not(…) does not count");
+        assert!(
+            items
+                .fns
+                .iter()
+                .find(|f| f.name == "helper")
+                .expect("helper")
+                .is_test
+        );
+        assert!(
+            !items
+                .fns
+                .iter()
+                .find(|f| f.name == "live")
+                .expect("live")
+                .is_test
+        );
+    }
+
+    #[test]
+    fn cfg_test_single_line_item() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
+        let items = items_of(src);
+        assert!(items.line_in_test(1) && items.line_in_test(2));
+        assert!(!items.line_in_test(3));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_definitions() {
+        let src = "struct S {\n    callback: fn(u32) -> u32,\n}\nfn real() {}\n";
+        let items = items_of(src);
+        let names: Vec<&str> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn nested_fns_and_expression_braces() {
+        let src = "fn outer() {\n    let x = { 1 };\n    fn inner() {}\n    match x {\n        1 => {}\n        _ => {}\n    }\n}\n";
+        let items = items_of(src);
+        let names: Vec<&str> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        assert_eq!(items.fns[0].end_line, 8);
+    }
+
+    #[test]
+    fn body_ranges_cover_the_braces() {
+        let src = "fn f(x: u32) -> u32 {\n    x + 1\n}\n";
+        let tokens = lex(src);
+        let items = extract(src, &tokens);
+        let (start, end) = items.fns[0].body.expect("body");
+        assert_eq!(tokens[start].text(src), "{");
+        assert_eq!(tokens[end].text(src), "}");
+        assert!(end > start);
+    }
+
+    #[test]
+    fn attributes_between_cfg_test_and_item_are_covered() {
+        let src = "#[cfg(test)]\n#[derive(Debug)]\nstruct Helper {\n    x: u32,\n}\n";
+        let items = items_of(src);
+        for line in 1..=5 {
+            assert!(items.line_in_test(line), "line {line}");
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Machine-readable lint/panic-path report: `sos-lint --format json`.
+//!
+//! The vendored `serde` is marker-traits only (the workspace has no
+//! registry access), so the report types derive those markers for API
+//! compatibility but carry their own JSON writer and a small strict
+//! parser; [`JsonReport::from_json`] round-trips the writer's output
+//! exactly, which a unit test pins down.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Report format version, bumped on breaking shape changes.
+pub const REPORT_VERSION: u32 = 1;
+
+/// One finding in the JSON report — a lint-rule hit or a panic-path
+/// construct.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportFinding {
+    /// Rule name (`no-unwrap`, `panic-path`, …).
+    pub rule: String,
+    /// File path relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// Call chain from an entry point (empty for plain lint findings).
+    pub chain: Vec<String>,
+}
+
+/// Aggregate counters for the run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReportSummary {
+    /// Non-test functions reachable from the entry points.
+    pub reachable_fns: usize,
+    /// Call sites that resolved to no workspace definition.
+    pub unresolved_calls: usize,
+    /// Findings silenced by justified suppressions.
+    pub suppressed: usize,
+    /// Entry points that resolved to a definition.
+    pub entry_points: Vec<String>,
+    /// Configured entry points with no matching definition.
+    pub missing_entry_points: Vec<String>,
+}
+
+/// The whole report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JsonReport {
+    /// Format version ([`REPORT_VERSION`]).
+    pub version: u32,
+    /// All findings, lint rules first, then panic-path.
+    pub findings: Vec<ReportFinding>,
+    /// Run counters.
+    pub summary: ReportSummary,
+}
+
+impl JsonReport {
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"version\": {},", self.version);
+        out.push_str("  \"findings\": [");
+        for (i, finding) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"rule\": {},", quote(&finding.rule));
+            let _ = writeln!(out, "      \"file\": {},", quote(&finding.file));
+            let _ = writeln!(out, "      \"line\": {},", finding.line);
+            let _ = writeln!(out, "      \"message\": {},", quote(&finding.message));
+            let _ = writeln!(out, "      \"chain\": {}", string_array(&finding.chain));
+            out.push_str("    }");
+        }
+        out.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"summary\": {\n");
+        let s = &self.summary;
+        let _ = writeln!(out, "    \"reachable_fns\": {},", s.reachable_fns);
+        let _ = writeln!(out, "    \"unresolved_calls\": {},", s.unresolved_calls);
+        let _ = writeln!(out, "    \"suppressed\": {},", s.suppressed);
+        let _ = writeln!(
+            out,
+            "    \"entry_points\": {},",
+            string_array(&s.entry_points)
+        );
+        let _ = writeln!(
+            out,
+            "    \"missing_entry_points\": {}",
+            string_array(&s.missing_entry_points)
+        );
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a report produced by [`JsonReport::to_json`]. Strict on
+    /// shape: unknown or missing keys are errors, so format drift is
+    /// caught by the round-trip test instead of silently tolerated.
+    pub fn from_json(text: &str) -> Result<JsonReport, String> {
+        let value = JsonValue::parse(text)?;
+        let object = value.as_object()?;
+        let mut report = JsonReport {
+            version: 0,
+            findings: Vec::new(),
+            summary: ReportSummary::default(),
+        };
+        for (key, value) in object {
+            match key.as_str() {
+                "version" => report.version = value.as_usize()? as u32,
+                "findings" => {
+                    for entry in value.as_array()? {
+                        report.findings.push(parse_finding(entry)?);
+                    }
+                }
+                "summary" => report.summary = parse_summary(value)?,
+                other => return Err(format!("unknown report key `{other}`")),
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn parse_finding(value: &JsonValue) -> Result<ReportFinding, String> {
+    let mut finding = ReportFinding {
+        rule: String::new(),
+        file: String::new(),
+        line: 0,
+        message: String::new(),
+        chain: Vec::new(),
+    };
+    for (key, value) in value.as_object()? {
+        match key.as_str() {
+            "rule" => finding.rule = value.as_str()?.to_string(),
+            "file" => finding.file = value.as_str()?.to_string(),
+            "line" => finding.line = value.as_usize()?,
+            "message" => finding.message = value.as_str()?.to_string(),
+            "chain" => finding.chain = value.as_string_array()?,
+            other => return Err(format!("unknown finding key `{other}`")),
+        }
+    }
+    Ok(finding)
+}
+
+fn parse_summary(value: &JsonValue) -> Result<ReportSummary, String> {
+    let mut summary = ReportSummary::default();
+    for (key, value) in value.as_object()? {
+        match key.as_str() {
+            "reachable_fns" => summary.reachable_fns = value.as_usize()?,
+            "unresolved_calls" => summary.unresolved_calls = value.as_usize()?,
+            "suppressed" => summary.suppressed = value.as_usize()?,
+            "entry_points" => summary.entry_points = value.as_string_array()?,
+            "missing_entry_points" => summary.missing_entry_points = value.as_string_array()?,
+            other => return Err(format!("unknown summary key `{other}`")),
+        }
+    }
+    Ok(summary)
+}
+
+/// JSON string literal with escaping.
+fn quote(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `["a", "b"]` on one line.
+fn string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| quote(s)).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+/// A minimal JSON value — just enough to read our own output (and any
+/// semantically-equivalent reformatting of it).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Number(u64),
+    Text(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn as_object(&self) -> Result<&[(String, JsonValue)], String> {
+        match self {
+            JsonValue::Object(fields) => Ok(fields),
+            other => Err(format!("expected object, found {other:?}")),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[JsonValue], String> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            other => Err(format!("expected array, found {other:?}")),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            JsonValue::Text(text) => Ok(text),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+
+    fn as_usize(&self) -> Result<usize, String> {
+        match self {
+            JsonValue::Number(n) => Ok(*n as usize),
+            other => Err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    fn as_string_array(&self) -> Result<Vec<String>, String> {
+        self.as_array()?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string))
+            .collect()
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::Text(parse_string(bytes, pos)?)),
+        Some(c) if c.is_ascii_digit() => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte `{}` at {pos}", *c as char)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // consume `{`
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // consume `[`
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| "invalid utf-8 in string".to_string())
+            }
+            b'\\' => {
+                let escape = bytes.get(*pos).copied();
+                *pos += 1;
+                match escape {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        *pos += 4;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(hex.encode_utf8(&mut buf).as_bytes());
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            b => out.push(b),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(JsonValue::Number)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JsonReport {
+        JsonReport {
+            version: REPORT_VERSION,
+            findings: vec![
+                ReportFinding {
+                    rule: "panic-path".to_string(),
+                    file: "crates/ftl/src/gc.rs".to_string(),
+                    line: 42,
+                    message: "indexing `blocks[…]` may panic \"out of bounds\"".to_string(),
+                    chain: vec![
+                        "Ftl::gc_once".to_string(),
+                        "Ftl::relocate_valid".to_string(),
+                    ],
+                },
+                ReportFinding {
+                    rule: "no-unwrap".to_string(),
+                    file: "crates/flash/src/device.rs".to_string(),
+                    line: 7,
+                    message: ".unwrap() in non-test code".to_string(),
+                    chain: Vec::new(),
+                },
+            ],
+            summary: ReportSummary {
+                reachable_fns: 31,
+                unresolved_calls: 120,
+                suppressed: 9,
+                entry_points: vec!["Ftl::recover".to_string(), "HostFs::remount".to_string()],
+                missing_entry_points: vec!["Ftl::gone".to_string()],
+            },
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample();
+        let json = report.to_json();
+        let parsed = JsonReport::from_json(&json).expect("parse back");
+        assert_eq!(parsed, report);
+        // And the writer is deterministic.
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = JsonReport {
+            version: REPORT_VERSION,
+            findings: Vec::new(),
+            summary: ReportSummary::default(),
+        };
+        let parsed = JsonReport::from_json(&report.to_json()).expect("parse back");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let json = "{\"version\": 1, \"bogus\": 2}";
+        assert!(JsonReport::from_json(json).is_err());
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let mut report = sample();
+        report.findings[0].message = "tab\there \"quoted\" back\\slash\nnewline".to_string();
+        let parsed = JsonReport::from_json(&report.to_json()).expect("parse back");
+        assert_eq!(parsed, report);
+    }
+}

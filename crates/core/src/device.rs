@@ -264,7 +264,11 @@ impl SosDevice {
                 let start = position * page_bytes;
                 if start < bytes.len() {
                     let end = (start + page_bytes).min(bytes.len());
-                    bytes[start..end].copy_from_slice(&rebuilt[..end - start]);
+                    if let (Some(dst), Some(src)) =
+                        (bytes.get_mut(start..end), rebuilt.get(..end - start))
+                    {
+                        dst.copy_from_slice(src);
+                    }
                 }
                 // Write the repaired page back so the mapping is live
                 // again.

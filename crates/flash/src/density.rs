@@ -140,6 +140,7 @@ impl ProgramMode {
     /// Panics if `logical` is denser than `physical`; a cell cannot store
     /// more levels than it was manufactured for.
     pub fn pseudo(physical: CellDensity, logical: CellDensity) -> Self {
+        // sos-lint: allow(panic-path, "documented contract: a cell cannot store more levels than manufactured; mode pairs are fixed at configuration time")
         assert!(
             logical.bits_per_cell() <= physical.bits_per_cell(),
             "pseudo mode cannot exceed physical density ({logical} > {physical})"
@@ -169,6 +170,7 @@ impl ProgramMode {
     pub fn effective_endurance(self) -> u32 {
         let base = self.physical.rated_endurance() as f64;
         let margin_ratio = (self.physical.levels() - 1) as f64 / (self.logical.levels() - 1) as f64;
+        // sos-lint: allow(no-lossy-cast, "f64→u32 saturating cast of a bounded endurance figure")
         (base * margin_ratio * margin_ratio).round() as u32
     }
 

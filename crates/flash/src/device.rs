@@ -353,6 +353,7 @@ impl FlashDevice {
     /// reprogramming, §4.3 "resuscitate worn-out PLC blocks ... e.g.
     /// pseudo-TLC").
     pub fn set_block_mode(&mut self, block: u64, mode: ProgramMode) -> Result<(), FlashError> {
+        // sos-lint: allow(panic-path, "mode/array density mismatch is a firmware configuration bug, not a data-dependent condition")
         assert_eq!(
             mode.physical, self.physical,
             "mode physical density must match the array"
@@ -642,7 +643,10 @@ impl FlashDevice {
         };
         // Per-page-type asymmetry: lower pages of a multi-bit wordline
         // are more reliable than upper pages.
-        let page_type = addr.page % cell_state_mode.logical.bits_per_cell();
+        let page_type = addr
+            .page
+            .checked_rem(cell_state_mode.logical.bits_per_cell())
+            .unwrap_or(0);
         let rber = (self.error_model.rber(cell_state_mode, cell_state)
             * crate::cell::CellModel::page_type_factor(cell_state_mode, page_type))
         .min(0.5);
@@ -761,7 +765,10 @@ impl FlashDevice {
 fn usable_pages_for(pages_per_block: u32, mode: ProgramMode) -> u32 {
     let bits_physical = mode.physical.bits_per_cell();
     let bits_logical = mode.logical.bits_per_cell();
-    (pages_per_block as u64 * bits_logical as u64 / bits_physical as u64) as u32
+    let pages = (pages_per_block as u64 * bits_logical as u64)
+        .checked_div(bits_physical as u64)
+        .unwrap_or(0);
+    u32::try_from(pages).unwrap_or(u32::MAX)
 }
 
 #[cfg(test)]

@@ -113,7 +113,9 @@ impl ErrorModel {
         let nbits = data.len() * 8;
         let positions = Self::sample_error_positions(rng, nbits, count);
         for &pos in &positions {
-            data[pos / 8] ^= 1 << (pos % 8);
+            if let Some(byte) = data.get_mut(pos / 8) {
+                *byte ^= 1 << (pos % 8);
+            }
         }
         positions
     }

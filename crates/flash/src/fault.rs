@@ -155,7 +155,9 @@ impl FaultInjector {
         let mut positions = Vec::with_capacity(bits as usize);
         for _ in 0..bits {
             let bit = self.rng.gen_range(0..nbits);
-            data[bit / 8] ^= 1 << (bit % 8);
+            if let Some(byte) = data.get_mut(bit / 8) {
+                *byte ^= 1 << (bit % 8);
+            }
             positions.push(bit);
         }
         positions
@@ -168,7 +170,7 @@ impl FaultInjector {
             return;
         }
         let cut = self.rng.gen_range(0..data.len());
-        for byte in &mut data[cut..] {
+        for byte in data.iter_mut().skip(cut) {
             *byte ^= self.rng.gen::<u8>();
         }
     }

@@ -69,12 +69,18 @@ impl Geometry {
     /// within a plane, then planes, dies and channels.
     pub fn block_addr(&self, index: u64) -> BlockAddr {
         debug_assert!(index < self.total_blocks());
-        let block = (index % self.blocks_per_plane as u64) as u32;
-        let rest = index / self.blocks_per_plane as u64;
-        let plane = (rest % self.planes_per_die as u64) as u32;
-        let rest = rest / self.planes_per_die as u64;
-        let die = (rest % self.dies_per_channel as u64) as u32;
-        let channel = (rest / self.dies_per_channel as u64) as u32;
+        // Remainders of a u32 divisor always fit u32; the fallbacks are
+        // unreachable because the geometry validates its fields nonzero.
+        let narrow = |value: u64| u32::try_from(value).unwrap_or(u32::MAX);
+        let per_plane = self.blocks_per_plane as u64;
+        let per_die = self.planes_per_die as u64;
+        let per_channel = self.dies_per_channel as u64;
+        let block = narrow(index.checked_rem(per_plane).unwrap_or(0));
+        let rest = index.checked_div(per_plane).unwrap_or(0);
+        let plane = narrow(rest.checked_rem(per_die).unwrap_or(0));
+        let rest = rest.checked_div(per_die).unwrap_or(0);
+        let die = narrow(rest.checked_rem(per_channel).unwrap_or(0));
+        let channel = narrow(rest.checked_div(per_channel).unwrap_or(0));
         BlockAddr {
             channel,
             die,
@@ -100,8 +106,9 @@ impl Geometry {
     /// Converts a flat page index into a structured address.
     pub fn page_addr(&self, index: u64) -> PageAddr {
         debug_assert!(index < self.total_pages());
-        let block = self.block_addr(index / self.pages_per_block as u64);
-        let page = (index % self.pages_per_block as u64) as u32;
+        let per_block = self.pages_per_block as u64;
+        let block = self.block_addr(index.checked_div(per_block).unwrap_or(0));
+        let page = u32::try_from(index.checked_rem(per_block).unwrap_or(0)).unwrap_or(u32::MAX);
         PageAddr { block, page }
     }
 

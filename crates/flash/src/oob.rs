@@ -78,6 +78,7 @@ impl OobMeta {
         self
     }
 
+    // sos-lint: allow(panic-path, "constant ranges into a fixed [u8; 18] buffer")
     fn compute_crc(&self) -> u32 {
         let mut bytes = [0u8; 18];
         bytes[..8].copy_from_slice(&self.lpn.to_le_bytes());
@@ -95,7 +96,7 @@ impl OobMeta {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &byte in bytes {
-        crc ^= byte as u32;
+        crc ^= u32::from(byte);
         for _ in 0..8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);

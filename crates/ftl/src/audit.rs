@@ -72,10 +72,10 @@ impl FtlState {
 
     /// Splits a flat physical page index into (block, offset).
     pub fn split_page(&self, flat: u64) -> (u64, u32) {
-        (
-            flat / self.pages_per_block as u64,
-            (flat % self.pages_per_block as u64) as u32,
-        )
+        let per_block = self.pages_per_block as u64;
+        let block = flat.checked_div(per_block).unwrap_or(0);
+        let offset = u32::try_from(flat.checked_rem(per_block).unwrap_or(0)).unwrap_or(u32::MAX);
+        (block, offset)
     }
 
     /// Logical pages currently mapped to live data.

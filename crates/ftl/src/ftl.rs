@@ -271,16 +271,15 @@ impl Ftl {
     /// [`Ftl::logical_pages`], the host must shrink (capacity variance,
     /// §4.3).
     pub fn sustainable_pages(&self) -> u64 {
-        let geometry = self.device.geometry();
         let reserve_blocks = self.config.gc_high_watermark as u64 + 2;
         let mut usable_total: u64 = 0;
         let mut good_blocks = 0u64;
-        for b in 0..geometry.total_blocks() {
-            if self.blocks[b as usize].bad {
+        for info in &self.blocks {
+            if info.bad {
                 continue;
             }
             good_blocks += 1;
-            usable_total += self.blocks[b as usize].lpns.len() as u64;
+            usable_total += info.lpns.len() as u64;
         }
         if good_blocks <= reserve_blocks {
             return 0;
@@ -390,10 +389,10 @@ impl Ftl {
     /// Reads one logical page.
     pub fn read(&mut self, lpn: u64) -> Result<ReadResult, FtlError> {
         self.check_lpn(lpn)?;
-        let location = match self.l2p[lpn as usize] {
-            Slot::Unmapped => return Err(FtlError::NotWritten(lpn)),
-            Slot::Lost => return Err(FtlError::DataLost(lpn)),
-            Slot::Mapped(loc) => loc,
+        let location = match self.l2p.get(lpn as usize) {
+            None | Some(Slot::Unmapped) => return Err(FtlError::NotWritten(lpn)),
+            Some(Slot::Lost) => return Err(FtlError::DataLost(lpn)),
+            Some(Slot::Mapped(loc)) => *loc,
         };
         let addr = self.page_addr(location);
         let outcome = match self.device.read(addr) {
@@ -433,15 +432,17 @@ impl Ftl {
     /// Invalidates a logical page (TRIM/delete).
     pub fn trim(&mut self, lpn: u64) -> Result<(), FtlError> {
         self.check_lpn(lpn)?;
-        match self.l2p[lpn as usize] {
-            Slot::Mapped(loc) => {
+        match self.l2p.get(lpn as usize).copied() {
+            Some(Slot::Mapped(loc)) => {
                 self.invalidate_location(loc);
                 self.stats.trims += 1;
             }
-            Slot::Lost => self.stats.trims += 1,
-            Slot::Unmapped => {}
+            Some(Slot::Lost) => self.stats.trims += 1,
+            Some(Slot::Unmapped) | None => {}
         }
-        self.l2p[lpn as usize] = Slot::Unmapped;
+        if let Some(slot) = self.l2p.get_mut(lpn as usize) {
+            *slot = Slot::Unmapped;
+        }
         Ok(())
     }
 
@@ -496,21 +497,27 @@ impl Ftl {
     /// Marks a physical location invalid and updates block accounting.
     pub(crate) fn invalidate_location(&mut self, flat: u64) {
         let pages_per_block = self.device.geometry().pages_per_block as u64;
-        let block = (flat / pages_per_block) as usize;
-        let page = (flat % pages_per_block) as usize;
-        let info = &mut self.blocks[block];
-        if page < info.lpns.len() && info.lpns[page].is_some() {
-            info.lpns[page] = None;
-            info.valid = info.valid.saturating_sub(1);
+        let block = flat.checked_div(pages_per_block).unwrap_or(0) as usize;
+        let page = flat.checked_rem(pages_per_block).unwrap_or(0) as usize;
+        let Some(info) = self.blocks.get_mut(block) else {
+            return;
+        };
+        if let Some(slot) = info.lpns.get_mut(page) {
+            if slot.is_some() {
+                *slot = None;
+                info.valid = info.valid.saturating_sub(1);
+            }
         }
     }
 
     /// Records loss of the data at `lpn`.
     pub(crate) fn mark_lost(&mut self, lpn: u64) {
-        if let Slot::Mapped(loc) = self.l2p[lpn as usize] {
+        if let Some(Slot::Mapped(loc)) = self.l2p.get(lpn as usize).copied() {
             self.invalidate_location(loc);
         }
-        self.l2p[lpn as usize] = Slot::Lost;
+        if let Some(slot) = self.l2p.get_mut(lpn as usize) {
+            *slot = Slot::Lost;
+        }
         self.stats.lost_pages += 1;
         let day = self.device.now_days();
         self.events.push(FtlEvent::DataLost { lpn, day });
@@ -546,14 +553,21 @@ impl Ftl {
             match self.device.program_with_oob(addr, raw, Some(oob)) {
                 Ok(latency) => {
                     // Invalidate the previous location, if any.
-                    if let Slot::Mapped(old) = self.l2p[lpn as usize] {
+                    if let Some(Slot::Mapped(old)) = self.l2p.get(lpn as usize).copied() {
                         self.invalidate_location(old);
                     }
-                    let info = &mut self.blocks[block as usize];
-                    info.lpns[page as usize] = Some(lpn);
-                    info.valid += 1;
-                    info.last_write_day = self.device.now_days();
-                    self.l2p[lpn as usize] = Slot::Mapped(self.flat_page(block, page));
+                    let day = self.device.now_days();
+                    if let Some(info) = self.blocks.get_mut(block as usize) {
+                        if let Some(slot) = info.lpns.get_mut(page as usize) {
+                            *slot = Some(lpn);
+                            info.valid += 1;
+                        }
+                        info.last_write_day = day;
+                    }
+                    let flat = self.flat_page(block, page);
+                    if let Some(slot) = self.l2p.get_mut(lpn as usize) {
+                        *slot = Slot::Mapped(flat);
+                    }
                     self.stats.flash_writes += 1;
                     return Ok(latency);
                 }
@@ -583,7 +597,9 @@ impl Ftl {
                 match self.device.next_free_page(block)? {
                     Some(page) => return Ok((block, page)),
                     None => {
-                        self.blocks[block as usize].full = true;
+                        if let Some(info) = self.blocks.get_mut(block as usize) {
+                            info.full = true;
+                        }
                         self.open.remove(&stream);
                     }
                 }
@@ -597,18 +613,21 @@ impl Ftl {
     /// lost, mappings are cleared and the retirement is recorded.
     pub(crate) fn handle_block_failure(&mut self, block: u64) {
         let day = self.device.now_days();
-        let lpns: Vec<u64> = self.blocks[block as usize]
-            .lpns
-            .iter()
-            .flatten()
-            .copied()
-            .collect();
+        let lpns: Vec<u64> = self
+            .blocks
+            .get(block as usize)
+            .map(|info| info.lpns.iter().flatten().copied().collect())
+            .unwrap_or_default();
         for lpn in lpns {
-            self.l2p[lpn as usize] = Slot::Lost;
+            if let Some(slot) = self.l2p.get_mut(lpn as usize) {
+                *slot = Slot::Lost;
+            }
             self.stats.lost_pages += 1;
             self.events.push(FtlEvent::DataLost { lpn, day });
         }
-        let info = &mut self.blocks[block as usize];
+        let Some(info) = self.blocks.get_mut(block as usize) else {
+            return;
+        };
         info.lpns.iter_mut().for_each(|slot| *slot = None);
         info.valid = 0;
         info.bad = true;
@@ -637,8 +656,11 @@ impl Ftl {
 /// Usable pages for a block programmed in `mode` (mirrors the device's
 /// internal accounting).
 pub(crate) fn usable_pages(pages_per_block: u32, mode: ProgramMode) -> u32 {
-    (pages_per_block as u64 * mode.logical.bits_per_cell() as u64
-        / mode.physical.bits_per_cell() as u64) as u32
+    let logical_bits = pages_per_block as u64 * mode.logical.bits_per_cell() as u64;
+    let pages = logical_bits
+        .checked_div(mode.physical.bits_per_cell() as u64)
+        .unwrap_or(0);
+    u32::try_from(pages).unwrap_or(u32::MAX)
 }
 
 #[cfg(test)]

@@ -73,18 +73,25 @@ impl Ftl {
     /// stream). Uncorrectable pages are recorded as lost. Returns the
     /// number of pages moved.
     pub(crate) fn relocate_valid(&mut self, block: u64) -> Result<u64, FtlError> {
-        let entries: Vec<(u32, u64)> = self.blocks[block as usize]
-            .lpns
-            .iter()
-            .enumerate()
-            .filter_map(|(page, lpn)| lpn.map(|l| (page as u32, l)))
-            .collect();
+        let entries: Vec<(u32, u64)> = self
+            .blocks
+            .get(block as usize)
+            .map(|info| {
+                info.lpns
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(page, lpn)| {
+                        lpn.and_then(|l| u32::try_from(page).ok().map(|p| (p, l)))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         let mut moved = 0u64;
         for (page, lpn) in entries {
             // The mapping may have been superseded by a concurrent host
             // write during this loop; skip stale entries.
             let flat = self.flat_page(block, page);
-            if self.l2p[lpn as usize] != Slot::Mapped(flat) {
+            if self.l2p.get(lpn as usize) != Some(&Slot::Mapped(flat)) {
                 continue;
             }
             let addr = self.page_addr(flat);
@@ -125,15 +132,17 @@ impl Ftl {
     /// Erases a fully-invalid block and returns it to the free pool.
     pub(crate) fn recycle(&mut self, block: u64) -> Result<(), FtlError> {
         debug_assert_eq!(
-            self.blocks[block as usize].valid, 0,
+            self.blocks.get(block as usize).map_or(0, |info| info.valid),
+            0,
             "recycle of live block"
         );
         match self.device.erase(block) {
             Ok(_) => {
-                let info = &mut self.blocks[block as usize];
-                info.lpns.iter_mut().for_each(|slot| *slot = None);
-                info.valid = 0;
-                info.full = false;
+                if let Some(info) = self.blocks.get_mut(block as usize) {
+                    info.lpns.iter_mut().for_each(|slot| *slot = None);
+                    info.valid = 0;
+                    info.full = false;
+                }
                 self.free.push_back(block);
                 Ok(())
             }

@@ -236,6 +236,7 @@ impl Ftl {
         payload
     }
 
+    // sos-lint: allow(panic-path, "scan tables are sized from the device geometry in phase 1 and every OOB lpn/offset is range-checked before indexing; divisors are construction-validated nonzero geometry fields")
     /// Rebuilds an FTL from a crashed device by scanning OOB metadata.
     ///
     /// `config` must match the configuration the device was managed
@@ -594,31 +595,29 @@ fn parse_checkpoint(
     if payload.len() < need {
         return None;
     }
-    let read_u64 = |at: usize| -> u64 {
-        let mut bytes = [0u8; 8];
-        bytes.copy_from_slice(&payload[at..at + 8]);
-        u64::from_le_bytes(bytes)
+    let read_u64 = |at: usize| -> Option<u64> {
+        let bytes: [u8; 8] = payload.get(at..at + 8)?.try_into().ok()?;
+        Some(u64::from_le_bytes(bytes))
     };
-    let read_u32 = |at: usize| -> u32 {
-        let mut bytes = [0u8; 4];
-        bytes.copy_from_slice(&payload[at..at + 4]);
-        u32::from_le_bytes(bytes)
+    let read_u32 = |at: usize| -> Option<u32> {
+        let bytes: [u8; 4] = payload.get(at..at + 4)?.try_into().ok()?;
+        Some(u32::from_le_bytes(bytes))
     };
-    if read_u64(0) != CKPT_MAGIC || read_u32(8) != CKPT_VERSION {
+    if read_u64(0)? != CKPT_MAGIC || read_u32(8)? != CKPT_VERSION {
         return None;
     }
-    let data_seq = read_u64(12);
-    if read_u64(20) != logical_pages || read_u64(28) != total_blocks {
+    let data_seq = read_u64(12)?;
+    if read_u64(20)? != logical_pages || read_u64(28)? != total_blocks {
         return None;
     }
-    if read_u32(need - 4) != crc32(&payload[..need - 4]) {
+    if read_u32(need - 4)? != crc32(payload.get(..need - 4)?) {
         return None;
     }
     let mut slots = Vec::with_capacity(logical_pages as usize);
     let mut at = CKPT_HEADER_BYTES;
     for _ in 0..logical_pages {
-        let tag = payload[at];
-        let loc = read_u64(at + 1);
+        let tag = *payload.get(at)?;
+        let loc = read_u64(at + 1)?;
         at += CKPT_ENTRY_BYTES;
         slots.push(match tag {
             1 => Slot::Mapped(loc),
@@ -628,7 +627,7 @@ fn parse_checkpoint(
     }
     let mut next_pages = Vec::with_capacity(total_blocks as usize);
     for _ in 0..total_blocks {
-        next_pages.push(read_u32(at));
+        next_pages.push(read_u32(at)?);
         at += 4;
     }
     Some((data_seq, slots, next_pages))

@@ -63,7 +63,9 @@ impl Ftl {
         let refresh_at = self.config.scrub.refresh_margin * budget;
         let total_blocks = self.device.geometry().total_blocks();
         for block in 0..total_blocks {
-            let info = &self.blocks[block as usize];
+            let Some(info) = self.blocks.get(block as usize) else {
+                continue;
+            };
             if info.bad || !info.full {
                 continue;
             }
@@ -159,10 +161,11 @@ impl Ftl {
             }
             self.device.set_block_mode(block, candidate)?;
             let usable = usable_pages(self.device.geometry().pages_per_block, candidate);
-            let info = &mut self.blocks[block as usize];
-            info.lpns = vec![None; usable as usize];
-            info.valid = 0;
-            info.full = false;
+            if let Some(info) = self.blocks.get_mut(block as usize) {
+                info.lpns = vec![None; usable as usize];
+                info.valid = 0;
+                info.full = false;
+            }
             self.free.push_back(block);
             let day = self.device.now_days();
             self.events.push(FtlEvent::BlockResuscitated {
@@ -179,11 +182,12 @@ impl Ftl {
     /// Retires an (already-relocated) block from service.
     fn retire(&mut self, block: u64) -> Result<(), FtlError> {
         self.device.mark_bad(block)?;
-        let info = &mut self.blocks[block as usize];
-        info.bad = true;
-        info.full = false;
-        info.lpns.iter_mut().for_each(|slot| *slot = None);
-        info.valid = 0;
+        if let Some(info) = self.blocks.get_mut(block as usize) {
+            info.bad = true;
+            info.full = false;
+            info.lpns.iter_mut().for_each(|slot| *slot = None);
+            info.valid = 0;
+        }
         self.free.retain(|&b| b != block);
         self.open.retain(|_, &mut b| b != block);
         self.stats.blocks_retired += 1;

@@ -168,7 +168,7 @@ impl ZonedDevice {
 
     /// Number of zones.
     pub fn zone_count(&self) -> u32 {
-        self.zones.len() as u32
+        u32::try_from(self.zones.len()).unwrap_or(u32::MAX)
     }
 
     /// Page payload size in bytes.
@@ -213,8 +213,8 @@ impl ZonedDevice {
     /// Maps a zone-relative page offset to a physical address.
     fn page_addr(&self, info: &ZoneInfo, offset: u64) -> Result<PageAddr, ZnsError> {
         let usable = self.device.usable_pages(info.first_block)? as u64;
-        let block = info.first_block + offset / usable;
-        let page = (offset % usable) as u32;
+        let block = info.first_block + offset.checked_div(usable).unwrap_or(0);
+        let page = u32::try_from(offset.checked_rem(usable).unwrap_or(0)).unwrap_or(u32::MAX);
         Ok(self
             .device
             .geometry()

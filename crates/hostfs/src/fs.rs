@@ -142,7 +142,9 @@ impl<S: PageStore> HostFs<S> {
             for extent in &inode.extents {
                 allocator.reserve(*extent);
                 for page in extent.start..(extent.start + extent.pages).min(pages) {
-                    referenced[page as usize] = true;
+                    if let Some(slot) = referenced.get_mut(page as usize) {
+                        *slot = true;
+                    }
                 }
             }
         }
@@ -331,8 +333,8 @@ impl<S: PageStore> HostFs<S> {
         let mut read = 0usize;
         while read < len {
             let absolute = offset + read as u64;
-            let file_page = absolute / page_bytes;
-            let in_page = (absolute % page_bytes) as usize;
+            let file_page = absolute.checked_div(page_bytes).unwrap_or(0);
+            let in_page = absolute.checked_rem(page_bytes).unwrap_or(0) as usize;
             let chunk = ((page_bytes as usize) - in_page).min(len - read);
             let device_page = Self::device_page(&inode, file_page).ok_or(FsError::PastEof {
                 offset: absolute,
@@ -345,7 +347,9 @@ impl<S: PageStore> HostFs<S> {
                 Err(StoreError::NotWritten(_)) => vec![0u8; page_bytes as usize],
                 Err(e) => return Err(e.into()),
             };
-            out.extend_from_slice(&page[in_page..in_page + chunk]);
+            if let Some(slice) = page.get(in_page..in_page + chunk) {
+                out.extend_from_slice(slice);
+            }
             read += chunk;
         }
         Ok(out)

@@ -141,6 +141,7 @@ impl ImageCodec {
     }
 
     /// Encodes an image.
+    // sos-lint: allow(panic-path, "blocks are fixed 8x8 tiles and plane offsets are multiples of the block area")
     pub fn encode(&self, image: &Image) -> Result<EncodedImage, CodecError> {
         if image.width() > u16::MAX as usize || image.height() > u16::MAX as usize {
             return Err(CodecError::ImageTooLarge);
@@ -197,6 +198,7 @@ impl ImageCodec {
 /// Decodes an encoded image byte stream (tolerating bit errors in the
 /// coefficient planes; the header must survive, which is why SOS stores
 /// it in the protected prefix).
+// sos-lint: allow(panic-path, "header fields are bounds-checked against the byte buffer before any offset is formed; blocks are fixed 8x8 tiles")
 pub fn decode(bytes: &[u8]) -> Result<Image, CodecError> {
     if bytes.len() < HEADER_BYTES {
         return Err(CodecError::Truncated {

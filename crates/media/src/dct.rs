@@ -34,6 +34,7 @@ fn alpha(u: usize) -> f64 {
 }
 
 /// Forward 8×8 DCT-II of a spatial block (row-major, any numeric range).
+// sos-lint: allow(panic-path, "constant indices into fixed BLOCK*BLOCK arrays")
 pub fn forward(block: &[f64; BLOCK * BLOCK]) -> [f64; BLOCK * BLOCK] {
     let c = basis();
     let mut out = [0.0; BLOCK * BLOCK];
@@ -52,6 +53,7 @@ pub fn forward(block: &[f64; BLOCK * BLOCK]) -> [f64; BLOCK * BLOCK] {
 }
 
 /// Inverse 8×8 DCT (DCT-III), reconstructing the spatial block.
+// sos-lint: allow(panic-path, "constant indices into fixed BLOCK*BLOCK arrays")
 pub fn inverse(coeffs: &[f64; BLOCK * BLOCK]) -> [f64; BLOCK * BLOCK] {
     let c = basis();
     let mut out = [0.0; BLOCK * BLOCK];
@@ -71,6 +73,7 @@ pub fn inverse(coeffs: &[f64; BLOCK * BLOCK]) -> [f64; BLOCK * BLOCK] {
 
 /// Zigzag scan order mapping scan index → (row-major) block index, so
 /// low-frequency coefficients come first.
+// sos-lint: allow(panic-path, "the zigzag walk stays inside a fixed BLOCK*BLOCK table")
 pub fn zigzag_order() -> &'static [usize; BLOCK * BLOCK] {
     use std::sync::OnceLock;
     static ORDER: OnceLock<[usize; BLOCK * BLOCK]> = OnceLock::new();

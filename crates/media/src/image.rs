@@ -16,6 +16,7 @@ impl Image {
     /// # Panics
     ///
     /// Panics if `pixels.len() != width * height`.
+    // sos-lint: allow(panic-path, "documented contract: the pixel buffer must match width*height")
     pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
         assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
         Image {
@@ -45,6 +46,7 @@ impl Image {
     /// # Panics
     ///
     /// Panics if the coordinates are out of bounds.
+    // sos-lint: allow(panic-path, "documented out-of-bounds contract; the assert guards the row-major index")
     pub fn get(&self, x: usize, y: usize) -> u8 {
         assert!(x < self.width && y < self.height, "pixel out of bounds");
         self.pixels[y * self.width + x]

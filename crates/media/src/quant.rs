@@ -37,6 +37,7 @@ impl QuantTable {
     /// # Panics
     ///
     /// Panics if `quality` is 0 or above 100.
+    // sos-lint: allow(panic-path, "documented quality domain 1..=100; a bad quality is a configuration bug")
     pub fn for_quality(quality: u8) -> Self {
         assert!((1..=100).contains(&quality), "quality must be 1..=100");
         let scale: f64 = if quality < 50 {
@@ -53,6 +54,7 @@ impl QuantTable {
     }
 
     /// Quantises a coefficient block (rounding to nearest).
+    // sos-lint: allow(panic-path, "divisor table entries are clamped to at least 1 at construction")
     pub fn quantise(&self, coeffs: &[f64; BLOCK * BLOCK]) -> [i16; BLOCK * BLOCK] {
         let mut out = [0i16; BLOCK * BLOCK];
         for i in 0..BLOCK * BLOCK {
@@ -63,6 +65,7 @@ impl QuantTable {
     }
 
     /// Dequantises back to coefficient space.
+    // sos-lint: allow(panic-path, "constant indices into fixed BLOCK*BLOCK tables")
     pub fn dequantise(&self, quantised: &[i16; BLOCK * BLOCK]) -> [f64; BLOCK * BLOCK] {
         let mut out = [0.0; BLOCK * BLOCK];
         for i in 0..BLOCK * BLOCK {

@@ -96,6 +96,7 @@ impl VideoCodec {
     /// # Panics
     ///
     /// Panics if frames have inconsistent dimensions.
+    // sos-lint: allow(panic-path, "frame-dimension equality is a caller contract, gop is validated nonzero at construction, and the first frame is always intra so P-frames have a reference")
     pub fn encode(&self, frames: &[Image]) -> Result<EncodedVideo, CodecError> {
         let mut out = Vec::with_capacity(frames.len());
         let (mut width, mut height) = (0, 0);

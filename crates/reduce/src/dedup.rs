@@ -55,6 +55,7 @@ impl Chunker {
     ///
     /// Panics if `average` is not a power of two or the sizes are not
     /// ordered `min <= average <= max`.
+    // sos-lint: allow(panic-path, "documented config contract asserts; the gear table covers the full u8 domain and start/index walk the slice in lockstep")
     pub fn chunks<'d>(&self, data: &'d [u8]) -> Vec<&'d [u8]> {
         assert!(
             self.average.is_power_of_two(),

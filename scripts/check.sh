@@ -18,6 +18,9 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo run -q -p sos-analyze --bin sos-lint
+mkdir -p target
+cargo run -q -p sos-analyze --bin sos-lint -- --format json > target/sos-lint-report.json || true
+echo "==> sos-lint JSON report: target/sos-lint-report.json"
 
 if [[ "$fast" -eq 0 ]]; then
     run cargo build --release
