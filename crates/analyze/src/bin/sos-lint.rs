@@ -19,8 +19,8 @@
 
 use sos_analyze::panicpath::PANIC_PATH_RULE;
 use sos_analyze::{
-    recovery_entry_points, run_lints_on, run_panic_path, JsonReport, ReportFinding, ReportSummary,
-    Workspace,
+    harness_entry_points, recovery_entry_points, run_lints_on, run_panic_path, JsonReport,
+    ReportFinding, ReportSummary, Workspace,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -72,7 +72,9 @@ fn main() -> ExitCode {
     };
     let workspace = Workspace::load(&options.root);
     let lint = run_lints_on(&workspace);
-    let panic_path = run_panic_path(&workspace, &recovery_entry_points());
+    let mut entry_points = recovery_entry_points();
+    entry_points.extend(harness_entry_points());
+    let panic_path = run_panic_path(&workspace, &entry_points);
 
     let mut findings: Vec<ReportFinding> = lint
         .findings

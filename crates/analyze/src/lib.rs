@@ -53,7 +53,9 @@ pub use harness::{
     CrashSweepReport, RecoveryAuditor,
 };
 pub use lint::{run_lints, run_lints_on, LintFinding, LintOutcome};
-pub use panicpath::{recovery_entry_points, run_panic_path, EntryPoint, PanicPathReport};
+pub use panicpath::{
+    harness_entry_points, recovery_entry_points, run_panic_path, EntryPoint, PanicPathReport,
+};
 pub use parse::Workspace;
 pub use report::{JsonReport, ReportFinding, ReportSummary};
 pub use suppress::SuppressionSet;

@@ -382,6 +382,17 @@ mod tests {
     }
 
     #[test]
+    fn sleep_rule_covers_the_bench_runner() {
+        // The parallel experiment runner must never sleep-wait for
+        // workers: determinism and the honesty of its wall-clock
+        // diagnostics both depend on it, so bench gets no exemption.
+        let path = "crates/bench/src/runner.rs";
+        let src = "pub fn run_tasks() { std::thread::sleep(d); }\n";
+        let out = run_lints_on(&Workspace::from_sources(&[("bench", path, src)]));
+        assert_eq!(rules(&out, "no-sleep"), vec![1]);
+    }
+
+    #[test]
     fn sleep_rule_requires_exact_path_tokens() {
         let out = lint("workload", "fn f() { std::thread::sleep(d); }\n");
         assert_eq!(rules(&out, "no-sleep"), vec![1]);

@@ -70,6 +70,14 @@ impl EntryPoint {
         }
     }
 
+    /// Convenience constructor for a free-function entry point.
+    pub fn function(name: &str) -> EntryPoint {
+        EntryPoint {
+            owner: None,
+            name: name.to_string(),
+        }
+    }
+
     /// Human-readable `Owner::name` form.
     pub fn label(&self) -> String {
         match &self.owner {
@@ -96,6 +104,18 @@ pub fn recovery_entry_points() -> Vec<EntryPoint> {
     .iter()
     .map(|(owner, name)| EntryPoint::method(owner, name))
     .collect()
+}
+
+/// Entry points for the experiment harness's parallel runner: the
+/// scoped-worker fan-out in `sos-bench` must never panic mid-scope (a
+/// worker panic poisons the shared result mutex and aborts the whole
+/// experiment), so its fan-out, seeding, and thread-count paths get the
+/// same reachability audit as the recovery paths.
+pub fn harness_entry_points() -> Vec<EntryPoint> {
+    ["run_tasks", "task_seed", "thread_count"]
+        .iter()
+        .map(|name| EntryPoint::function(name))
+        .collect()
 }
 
 /// The category of panicking construct a finding flags.
@@ -555,6 +575,17 @@ mod tests {
         let src = "impl Ftl {\n    pub fn recover(&self) {\n        let _v: Vec<u8> = vec![0; 4];\n        let _a = [0u8; 8];\n        #[allow(unused)]\n        let _b: [u8; 2] = [1, 2];\n    }\n}\n";
         let report = run(src, &entry("Ftl", "recover"));
         assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn free_function_entry_points_resolve_and_traverse() {
+        let src = "pub fn run_tasks(n: u64) -> u64 { helper(n) }\nfn helper(n: u64) -> u64 { let v = vec![1u64]; v[0] + n }\n";
+        let report = run(src, &[EntryPoint::function("run_tasks")]);
+        assert_eq!(report.entry_points, vec!["run_tasks"]);
+        assert!(report.missing_entry_points.is_empty());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].construct, PanicConstruct::Indexing);
+        assert_eq!(report.findings[0].chain, vec!["run_tasks", "helper"]);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   no unsuppressed lint or panic-path findings, and every configured
 //!   recovery entry point resolves.
 
-use sos_analyze::{recovery_entry_points, run_lints_on, run_panic_path, Workspace};
+use sos_analyze::{
+    harness_entry_points, recovery_entry_points, run_lints_on, run_panic_path, Workspace,
+};
 use std::path::PathBuf;
 
 fn workspace_root() -> PathBuf {
@@ -81,7 +83,9 @@ fn workspace_is_the_zero_finding_baseline() {
             .collect::<Vec<_>>()
             .join("\n")
     );
-    let report = run_panic_path(&workspace, &recovery_entry_points());
+    let mut entry_points = recovery_entry_points();
+    entry_points.extend(harness_entry_points());
+    let report = run_panic_path(&workspace, &entry_points);
     assert!(
         report.missing_entry_points.is_empty(),
         "entry points no longer resolve (renamed?): {:?}",

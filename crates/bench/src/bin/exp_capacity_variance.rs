@@ -1,123 +1,15 @@
 //! E9: capacity variance (§4.3) — exported capacity over device age as
 //! PLC blocks retire and resuscitate as pseudo-TLC, and the host FS
 //! relocating under shrink.
+//!
+//! The two resuscitation-policy arms run in parallel on the
+//! deterministic runner (`SOS_THREADS`); stdout is byte-identical
+//! across thread counts, timing diagnostics go to stderr.
 
-use sos_core::FtlPageStore;
-use sos_flash::{CellDensity, DeviceConfig, ProgramMode};
-use sos_ftl::{Ftl, FtlConfig, ResuscitationPolicy};
-use sos_hostfs::HostFs;
-
-fn wear_cycle(ftl: &mut Ftl, rounds: u64, seed: &mut u64) {
-    let cap = ftl.logical_pages();
-    // Capacity variance: when the device can no longer hold the full
-    // logical set, the host deletes (trims) the excess before writing —
-    // the paper's auto-delete behaviour.
-    let sustainable = ftl.sustainable_pages();
-    if sustainable < cap {
-        for lpn in sustainable..cap {
-            let _ = ftl.trim(lpn);
-        }
-    }
-    let live = sustainable.min(cap).max(1);
-    let page = vec![0x77u8; ftl.page_bytes()];
-    for _ in 0..rounds * live {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let lpn = *seed % live;
-        // Ignore NoSpace near end of life: the device is dying, which is
-        // the point of the experiment.
-        let _ = ftl.write(lpn, &page);
-    }
-}
-
-fn run(policy: ResuscitationPolicy, label: &str) {
-    let mut config = FtlConfig::sos_spare();
-    config.ecc = sos_ecc::EccScheme::DetectOnly;
-    config.resuscitation = policy;
-    let mut ftl = Ftl::new(&DeviceConfig::tiny(CellDensity::Plc).with_seed(17), config);
-    let cap = ftl.logical_pages();
-    let page = vec![0x11u8; ftl.page_bytes()];
-    for lpn in 0..cap {
-        ftl.write(lpn, &page).expect("fill");
-    }
-    println!("\n## {label}");
-    println!(
-        "{:<8} {:>10} {:>12} {:>9} {:>8} {:>13}",
-        "epoch", "mean PEC", "sustainable", "retired", "resusc", "pseudo-TLC blks"
-    );
-    let mut seed = 1u64;
-    for epoch in 0..8 {
-        wear_cycle(&mut ftl, 12, &mut seed);
-        ftl.advance_days(90.0);
-        let _ = ftl.scrub();
-        let wear = ftl.wear_summary();
-        let geometry = *ftl.device().geometry();
-        let mut pseudo = 0;
-        for block in 0..geometry.total_blocks() {
-            if let Ok(mode) = ftl.device().block_mode(block) {
-                if mode == ProgramMode::pseudo(CellDensity::Plc, CellDensity::Tlc) {
-                    pseudo += 1;
-                }
-            }
-        }
-        println!(
-            "{:<8} {:>10.0} {:>12} {:>9} {:>8} {:>13}",
-            epoch,
-            wear.mean_pec,
-            ftl.sustainable_pages(),
-            ftl.stats().blocks_retired,
-            ftl.stats().blocks_resuscitated,
-            pseudo
-        );
-    }
-}
-
-fn hostfs_shrink_demo() {
-    println!("\n## Host FS shrink (CPR-style relocation over a live FTL)");
-    // Full-strength ECC for this demo: it is about relocation mechanics,
-    // not approximation.
-    let ftl = Ftl::new(
-        &DeviceConfig::tiny(CellDensity::Plc).with_seed(3),
-        FtlConfig::conventional(ProgramMode::native(CellDensity::Plc)),
-    );
-    let mut fs = HostFs::format(FtlPageStore::new(ftl));
-    let page = fs.page_bytes();
-    for index in 0..8 {
-        let id = fs
-            .create(&format!("/media/clip{index}.mp4"), 2)
-            .expect("create");
-        fs.write(id, 0, &vec![index as u8; page * 40])
-            .expect("write");
-    }
-    fs.delete("/media/clip0.mp4").expect("delete");
-    fs.delete("/media/clip1.mp4").expect("delete");
-    let before = fs.capacity_pages();
-    // Shrink hard enough that surviving extents must relocate into the
-    // holes the deletions left.
-    let target = fs.used_pages() + 20;
-    let moved = fs.shrink(target).expect("shrink fits");
-    println!("capacity {before} -> {target} pages; {moved} pages relocated by the FS");
-    // All files still intact.
-    for index in 2..8 {
-        let id = fs
-            .lookup(&format!("/media/clip{index}.mp4"))
-            .expect("exists");
-        let data = fs.read(id, 0, page * 40).expect("read");
-        assert!(
-            data.iter().all(|&b| b == index as u8),
-            "clip{index} corrupted"
-        );
-    }
-    println!("all surviving files verified intact after relocation");
-}
+use sos_bench::{capacity_variance_report, thread_count};
 
 fn main() {
-    println!("# E9 — capacity variance under wear");
-    run(ResuscitationPolicy::retire_only(), "retire-only policy");
-    run(
-        ResuscitationPolicy::plc_default(),
-        "resuscitation ladder (pseudo-TLC, then pseudo-SLC)",
-    );
-    hostfs_shrink_demo();
-    println!("\npaper shape: capacity shrinks gradually; resuscitation converts");
-    println!("worn PLC blocks to pseudo-TLC instead of losing them outright.");
+    let output = capacity_variance_report(thread_count());
+    print!("{}", output.report);
+    eprint!("{}", output.diagnostics);
 }

@@ -1,67 +1,35 @@
 //! E12: the crash sweep — power cuts at scheduled device operations
-//! over a simulated device life, each followed by an OOB recovery scan
+//! over simulated device lives, each followed by an OOB recovery scan
 //! and a parity-repairing remount, with every invariant auditor re-run
 //! after every crash.
 //!
-//! Usage: `exp_crash_sweep [days] [checkpoint_interval_days]`
+//! Usage: `exp_crash_sweep [days] [checkpoint_interval_days] [shards]`
 //!
-//! The run is reproducible: set `SOS_SEED` to replay a logged sweep
-//! (the seed drives the device, the workload, and the crash schedule).
+//! The sweep is sharded into independent device lives (`days` total,
+//! divided across shards) that run in parallel on the deterministic
+//! runner; shard `i` is seeded `task_seed(SOS_SEED, i)`, so the merged
+//! stdout report is byte-identical for any `SOS_THREADS`. Set
+//! `SOS_SEED` to replay a logged sweep.
 
-use sos_analyze::{run_crashy_days, seed_from_env};
-use sos_classify::{multi_user_corpus, Classifier, FeatureExtractor, LogisticRegression};
-use sos_core::{CloudConfig, ControllerConfig, ObjectStore, SosConfig, SosController, SosDevice};
-use sos_workload::{DeviceLife, UsageProfile, WorkloadConfig};
+use sos_analyze::seed_from_env;
+use sos_bench::{crash_sweep_report, thread_count, CrashSweepOptions};
 
 fn main() {
-    let days: u64 = std::env::args()
-        .nth(1)
-        .and_then(|arg| arg.parse().ok())
-        .unwrap_or(120);
-    let checkpoint_interval: u64 = std::env::args()
-        .nth(2)
-        .and_then(|arg| arg.parse().ok())
-        .unwrap_or(5);
-    let seed = seed_from_env(11);
-
-    let extractor = FeatureExtractor::default();
-    let corpus = multi_user_corpus(&extractor, 1, 3);
-    let mut model = LogisticRegression::default();
-    model.train(&corpus.features, &corpus.labels);
-    let device = SosDevice::new(&SosConfig::tiny(seed));
-    let capacity = device.capacity_bytes();
-    let life = DeviceLife::new(WorkloadConfig::phone(capacity, UsageProfile::Typical, seed));
-    let mut controller = SosController::new(
-        device,
-        model,
-        extractor,
-        life,
-        CloudConfig::none(),
-        ControllerConfig::default(),
-    );
-
-    println!("# E12 — crash sweep: {days} days, checkpoint every {checkpoint_interval} days, SOS_SEED={seed}\n");
-    let report = run_crashy_days(&mut controller, days, checkpoint_interval, seed)
-        .expect("recovery failed; the device is unrecoverable");
-
-    println!("days simulated        {}", report.days);
-    println!("power cuts fired      {}", report.crashes);
-    println!("checkpoints taken     {}", report.checkpoints);
-    println!("torn pages found      {}", report.torn_pages);
-    println!("SYS pages repaired    {}", report.sys_repaired);
-    println!("SYS pages lost        {} (declared)", report.sys_lost);
-    println!("SPARE pages lost      {} (declared)", report.spare_lost);
-    println!("resurrected trims     {}", report.resurrected_trimmed);
-    println!("auditor findings      {}", report.findings.len());
-    for finding in &report.findings {
-        println!("  {finding}");
+    let mut options = CrashSweepOptions::default();
+    if let Some(days) = std::env::args().nth(1).and_then(|arg| arg.parse().ok()) {
+        options.days = days;
     }
-    if report.findings.is_empty() {
-        println!("\ncrash consistency holds: every remount rebuilt the pre-crash");
-        println!("state minus the declared crash window (repair-or-declare, torn");
-        println!("pages never resurfacing, directory byte-stable).");
-    } else {
-        println!("\nVIOLATIONS FOUND — crash consistency is broken.");
+    if let Some(interval) = std::env::args().nth(2).and_then(|arg| arg.parse().ok()) {
+        options.checkpoint_interval = interval;
+    }
+    if let Some(shards) = std::env::args().nth(3).and_then(|arg| arg.parse().ok()) {
+        options.shards = shards;
+    }
+    options.base_seed = seed_from_env(options.base_seed);
+    let output = crash_sweep_report(&options, thread_count());
+    print!("{}", output.report);
+    eprint!("{}", output.diagnostics);
+    if output.failed {
         std::process::exit(1);
     }
 }

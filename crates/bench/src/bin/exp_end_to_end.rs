@@ -1,41 +1,26 @@
 //! E11: the end-to-end device-life comparison — TLC vs QLC vs SOS over a
 //! simulated phone life: carbon, loss, quality, latency.
+//!
+//! Usage: `exp_end_to_end [days] [heavy] [replicas]`
+//!
+//! Every (profile × replica × design) arm runs as an independent task
+//! on the deterministic parallel runner; `SOS_THREADS` sets the worker
+//! count and the stdout report is byte-identical whatever it is.
+//! Timing diagnostics go to stderr.
 
-use sos_core::{compare, format_comparison, SimConfig};
-use sos_workload::UsageProfile;
+use sos_bench::{end_to_end_report, thread_count, EndToEndOptions};
 
 fn main() {
-    let days: u32 = std::env::args()
-        .nth(1)
-        .and_then(|arg| arg.parse().ok())
-        .unwrap_or(360);
-    // Heavy usage takes ~3x longer to simulate; opt in with a second arg.
-    let profiles: &[UsageProfile] = if std::env::args().nth(2).as_deref() == Some("heavy") {
-        &[UsageProfile::Typical, UsageProfile::Heavy]
-    } else {
-        &[UsageProfile::Typical]
-    };
-    for &profile in profiles {
-        println!("# E11 — {days}-day device life, {profile:?} usage\n");
-        let config = SimConfig {
-            days,
-            profile,
-            seed: 77,
-            cloud_coverage: 0.0,
-            workload_bytes: 0,
-        };
-        let results = compare(&config);
-        println!("{}", format_comparison(&results));
-        let sos = results.last().expect("three designs");
-        println!(
-            "SOS internals: {} demotions, {} auto-deletes, {} degraded reads, {} repairs\n",
-            sos.stats.demotions,
-            sos.stats.autodeletes,
-            sos.stats.degraded_reads,
-            sos.stats.cloud_repairs
-        );
+    let mut options = EndToEndOptions::default();
+    if let Some(days) = std::env::args().nth(1).and_then(|arg| arg.parse().ok()) {
+        options.days = days;
     }
-    println!("expected shape: SOS ~2/3 of TLC carbon; zero SYS loss; SPARE media");
-    println!("PSNR above the quality floor over the device life; p99 reads higher");
-    println!("on PLC but adequate (§4.5).");
+    // Heavy usage takes ~3x longer to simulate; opt in with a second arg.
+    options.heavy = std::env::args().nth(2).as_deref() == Some("heavy");
+    if let Some(replicas) = std::env::args().nth(3).and_then(|arg| arg.parse().ok()) {
+        options.replicas = replicas;
+    }
+    let output = end_to_end_report(&options, thread_count());
+    print!("{}", output.report);
+    eprint!("{}", output.diagnostics);
 }

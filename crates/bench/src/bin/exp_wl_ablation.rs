@@ -1,78 +1,14 @@
 //! E10: wear-leveling ablation (§4.3) — the paper disables preemptive
 //! wear leveling on SPARE because it "effectively shortens overall block
 //! lifetime" (Jiao et al., HotStorage '22). Measure both sides of that
-//! trade on identical workloads.
+//! trade on identical workloads; the two arms run in parallel on the
+//! deterministic runner (`SOS_THREADS`), stdout staying byte-identical.
 
-use sos_flash::{CellDensity, DeviceConfig, ProgramMode};
-use sos_ftl::{Ftl, FtlConfig, GcPolicy, WearLevelingConfig};
-
-struct Outcome {
-    flash_writes: u64,
-    erases: u64,
-    spread: u32,
-    max_pec: u32,
-}
-
-fn run(wear_leveling: WearLevelingConfig, rounds: u64) -> Outcome {
-    let mut config = FtlConfig::conventional(ProgramMode::native(CellDensity::Plc));
-    config.ecc = sos_ecc::EccScheme::DetectOnly;
-    config.wear_leveling = wear_leveling;
-    config.gc_policy = GcPolicy::Greedy;
-    let mut ftl = Ftl::new(&DeviceConfig::tiny(CellDensity::Plc).with_seed(21), config);
-    let cap = ftl.logical_pages();
-    let page = vec![0xABu8; ftl.page_bytes()];
-    for lpn in 0..cap {
-        ftl.write(lpn, &page).expect("fill");
-    }
-    // Hot/cold skew: 90% of writes to 10% of the space.
-    let hot = (cap / 10).max(1);
-    let mut x = 5u64;
-    for i in 0..rounds * cap {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let lpn = if i % 10 != 0 {
-            x % hot
-        } else {
-            hot + x % (cap - hot)
-        };
-        ftl.write(lpn, &page).expect("write");
-    }
-    let wear = ftl.wear_summary();
-    let stats = ftl.stats();
-    Outcome {
-        flash_writes: stats.flash_writes,
-        erases: ftl.device().stats().erases,
-        spread: wear.max_pec - wear.min_pec,
-        max_pec: wear.max_pec,
-    }
-}
+use sos_bench::{thread_count, wl_ablation_report};
 
 fn main() {
-    println!("# E10 — wear-leveling ablation on PLC (hot/cold skewed writes)");
-    println!(
-        "{:<22} {:>13} {:>9} {:>9} {:>9}",
-        "config", "flash writes", "erases", "spread", "max PEC"
-    );
     let rounds = 25;
-    let without = run(WearLevelingConfig::disabled(), rounds);
-    let with = run(WearLevelingConfig::enabled(16), rounds);
-    for (name, outcome) in [("wear leveling OFF", &without), ("wear leveling ON", &with)] {
-        println!(
-            "{:<22} {:>13} {:>9} {:>9} {:>9}",
-            name, outcome.flash_writes, outcome.erases, outcome.spread, outcome.max_pec
-        );
-    }
-    let overhead = (with.flash_writes as f64 / without.flash_writes as f64 - 1.0) * 100.0;
-    println!(
-        "\nwear leveling narrowed the PEC spread {}x (={} vs {}) but cost {:.1}% extra",
-        if with.spread > 0 {
-            without.spread / with.spread.max(1)
-        } else {
-            without.spread
-        },
-        with.spread,
-        without.spread,
-        overhead
-    );
-    println!("flash writes — the Jiao-et-al. trade the paper's SPARE partition avoids");
-    println!("by *disabling* preemptive leveling (§4.3).");
+    let output = wl_ablation_report(rounds, thread_count());
+    print!("{}", output.report);
+    eprint!("{}", output.diagnostics);
 }

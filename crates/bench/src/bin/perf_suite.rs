@@ -1,0 +1,119 @@
+//! `perf_suite` — times the simulator's canonical kernels and emits a
+//! `BENCH_0005.json` performance trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_suite [--quick] [--out PATH] [--check BASELINE] [--tolerance FRAC]
+//! ```
+//!
+//! * `--quick` shrinks iteration counts ~10x (the CI smoke mode; the
+//!   committed baseline is a quick run, so compare quick-vs-quick).
+//! * `--out PATH` writes the JSON report (default `BENCH_0005.json`).
+//! * `--check BASELINE` compares against a committed baseline and exits
+//!   non-zero if any kernel's throughput fell more than `--tolerance`
+//!   (default 0.25) below it. A missing baseline file is a graceful
+//!   skip, not a failure, so fresh clones and new kernels don't break.
+
+use sos_bench::perf::{regressions, run_suite, BenchReport};
+use std::process::ExitCode;
+
+struct Options {
+    quick: bool,
+    out: String,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        quick: false,
+        out: "BENCH_0005.json".to_string(),
+        check: None,
+        tolerance: 0.25,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--out" => match args.next() {
+                Some(path) => options.out = path,
+                None => return Err("--out expects a path".into()),
+            },
+            "--check" => match args.next() {
+                Some(path) => options.check = Some(path),
+                None => return Err("--check expects a baseline path".into()),
+            },
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(frac) if (0.0..1.0).contains(&frac) => options.tolerance = frac,
+                _ => return Err("--tolerance expects a fraction in [0, 1)".into()),
+            },
+            "--help" | "-h" => return Err(
+                "usage: perf_suite [--quick] [--out PATH] [--check BASELINE] [--tolerance FRAC]"
+                    .into(),
+            ),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "perf_suite: running {} kernels ({} mode)...",
+        5,
+        if options.quick { "quick" } else { "full" }
+    );
+    let report = run_suite(options.quick);
+    for entry in &report.entries {
+        println!("{:<16} {:>14.1} {}", entry.name, entry.value, entry.unit);
+    }
+    if let Err(error) = std::fs::write(&options.out, report.to_json()) {
+        eprintln!("perf_suite: cannot write {}: {error}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("perf_suite: wrote {}", options.out);
+
+    if let Some(baseline_path) = &options.check {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(_) => {
+                eprintln!("perf_suite: no baseline at {baseline_path}; skipping regression check");
+                return ExitCode::SUCCESS;
+            }
+        };
+        let baseline = match BenchReport::from_json(&text) {
+            Ok(baseline) => baseline,
+            Err(error) => {
+                eprintln!("perf_suite: unreadable baseline {baseline_path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match regressions(&baseline, &report, options.tolerance) {
+            Ok(failures) if failures.is_empty() => {
+                eprintln!(
+                    "perf_suite: no kernel regressed more than {:.0}% vs {baseline_path}",
+                    options.tolerance * 100.0
+                );
+            }
+            Ok(failures) => {
+                for failure in &failures {
+                    eprintln!("perf_suite: REGRESSION — {failure}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(error) => {
+                eprintln!("perf_suite: cannot compare against {baseline_path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,702 @@
+//! Experiment implementations behind the `exp_*` binaries.
+//!
+//! Each experiment is a pure function from options to an
+//! [`ExperimentOutput`]: a deterministic `report` string (what the
+//! binary prints on stdout) plus a timing `diagnostics` string (what it
+//! prints on stderr). Independent arms run on the deterministic
+//! parallel runner ([`crate::runner`]); because every arm derives its
+//! own RNG stream and results are merged in task order, the `report`
+//! string is byte-identical whatever `SOS_THREADS` says — the property
+//! `tests/runner_determinism.rs` pins.
+
+use crate::runner::{run_tasks, task_seed, RunnerReport};
+use sos_analyze::run_crashy_days;
+use sos_classify::{multi_user_corpus, Classifier, FeatureExtractor, LogisticRegression};
+use sos_core::{
+    compare, format_comparison, run_design, CloudConfig, ControllerConfig, DesignKind, ObjectStore,
+    PerfCounters, SimConfig, SimResult, SosConfig, SosController, SosDevice,
+};
+use sos_flash::{CellDensity, DeviceConfig, ProgramMode};
+use sos_ftl::{Ftl, FtlConfig, GcPolicy, ResuscitationPolicy, WearLevelingConfig};
+use sos_workload::{DeviceLife, UsageProfile, WorkloadConfig};
+use std::fmt::Write as _;
+
+/// What one experiment run produced.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentOutput {
+    /// Deterministic result text — print on **stdout**. Byte-identical
+    /// for a given config regardless of thread count.
+    pub report: String,
+    /// Wall-clock / utilization diagnostics — print on **stderr** only;
+    /// varies run to run.
+    pub diagnostics: String,
+    /// Whether the experiment found violations (non-zero exit).
+    pub failed: bool,
+}
+
+fn runner_diagnostics(label: &str, runner: &RunnerReport, perf: &PerfCounters) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[{label}] {}", runner.summary());
+    if perf.pages_read + perf.pages_programmed > 0 {
+        let _ = writeln!(
+            out,
+            "[{label}] {:.0} pages read/s, {:.0} programmed/s of wall time",
+            perf.pages_read as f64 / runner.wall_seconds.max(1e-9),
+            perf.pages_programmed as f64 / runner.wall_seconds.max(1e-9),
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E11: end-to-end device life
+// ---------------------------------------------------------------------------
+
+/// Options for [`end_to_end_report`] (experiment E11).
+#[derive(Debug, Clone)]
+pub struct EndToEndOptions {
+    /// Simulated days per device life.
+    pub days: u32,
+    /// Also run the Heavy usage profile (~3x slower).
+    pub heavy: bool,
+    /// Independent replicas per profile. Replica 0 uses `base_seed`
+    /// directly (so its table matches the historical single-seed run);
+    /// replica `r > 0` uses `task_seed(base_seed, r)`.
+    pub replicas: usize,
+    /// Base RNG seed.
+    pub base_seed: u64,
+    /// Workload target bytes shared by every arm; 0 sizes it to the
+    /// SOS device's exported capacity (the [`compare`] rule). Tests
+    /// set this small to keep runs fast.
+    pub workload_bytes: u64,
+}
+
+impl Default for EndToEndOptions {
+    fn default() -> Self {
+        EndToEndOptions {
+            days: 360,
+            heavy: false,
+            replicas: 4,
+            base_seed: 77,
+            workload_bytes: 0,
+        }
+    }
+}
+
+fn replica_seed(base_seed: u64, replica: usize) -> u64 {
+    if replica == 0 {
+        base_seed
+    } else {
+        task_seed(base_seed, replica)
+    }
+}
+
+/// Runs E11: TLC vs QLC vs SOS device lives, `replicas` seeds per
+/// profile, every (profile × replica × design) arm an independent
+/// parallel task. Carbon is normalized to the TLC baseline *of the same
+/// replica*, mirroring the serial [`compare`] semantics.
+pub fn end_to_end_report(options: &EndToEndOptions, threads: usize) -> ExperimentOutput {
+    let profiles: &[UsageProfile] = if options.heavy {
+        &[UsageProfile::Typical, UsageProfile::Heavy]
+    } else {
+        &[UsageProfile::Typical]
+    };
+    let replicas = options.replicas.max(1);
+    // Size the workload to the smallest device (SOS) so every design
+    // sees identical traffic — same rule as `compare`.
+    let workload_bytes = if options.workload_bytes > 0 {
+        options.workload_bytes
+    } else {
+        SosDevice::new(&SosConfig::small(options.base_seed)).capacity_bytes()
+    };
+
+    let mut arms: Vec<(UsageProfile, usize, DesignKind)> = Vec::new();
+    for &profile in profiles {
+        for replica in 0..replicas {
+            for kind in DesignKind::ALL {
+                arms.push((profile, replica, kind));
+            }
+        }
+    }
+    let days = options.days;
+    let base_seed = options.base_seed;
+    let (results, runner) = run_tasks(&arms, threads, |_, &(profile, replica, kind)| {
+        let config = SimConfig {
+            days,
+            profile,
+            seed: replica_seed(base_seed, replica),
+            cloud_coverage: 0.0,
+            workload_bytes,
+        };
+        run_design(kind, &config)
+    });
+
+    // Group back into (profile, replica) triples, in task order.
+    let mut output = ExperimentOutput::default();
+    let mut perf_total = PerfCounters::default();
+    for result in &results {
+        perf_total.absorb(&result.perf);
+    }
+    let designs = DesignKind::ALL.len();
+    for (profile_index, &profile) in profiles.iter().enumerate() {
+        let profile_base = profile_index * replicas * designs;
+        let _ = writeln!(
+            output.report,
+            "# E11 — {days}-day device life, {profile:?} usage, {replicas} replica(s)\n"
+        );
+        let mut replica_rows: Vec<(u64, Vec<SimResult>)> = Vec::new();
+        for replica in 0..replicas {
+            let start = profile_base + replica * designs;
+            let mut triple: Vec<SimResult> =
+                results.iter().skip(start).take(designs).cloned().collect();
+            if let Some(tlc_kg) = triple.first().map(|r| r.kg_per_exported_gb) {
+                for row in triple.iter_mut() {
+                    row.carbon_vs_tlc = row.kg_per_exported_gb / tlc_kg;
+                }
+            }
+            replica_rows.push((replica_seed(base_seed, replica), triple));
+        }
+        if let Some((_, primary)) = replica_rows.first() {
+            output.report.push_str(&format_comparison(primary));
+            if let Some(sos) = primary.last() {
+                let _ = writeln!(
+                    output.report,
+                    "SOS internals: {} demotions, {} auto-deletes, {} degraded reads, {} repairs",
+                    sos.stats.demotions,
+                    sos.stats.autodeletes,
+                    sos.stats.degraded_reads,
+                    sos.stats.cloud_repairs
+                );
+            }
+        }
+        if replicas > 1 {
+            let _ = writeln!(output.report, "\n## Replica variance (SOS arm)");
+            let _ = writeln!(
+                output.report,
+                "{:<8} {:>20} {:>8} {:>9} {:>9}",
+                "replica", "seed", "vsTLC", "lostRds", "medPSNR"
+            );
+            let mut ratios: Vec<f64> = Vec::new();
+            for (replica, (seed, triple)) in replica_rows.iter().enumerate() {
+                if let Some(sos) = triple.last() {
+                    ratios.push(sos.carbon_vs_tlc);
+                    let _ = writeln!(
+                        output.report,
+                        "{:<8} {:>20} {:>8.3} {:>9} {:>9.1}",
+                        replica,
+                        seed,
+                        sos.carbon_vs_tlc,
+                        sos.stats.lost_reads,
+                        sos.final_median_psnr.unwrap_or(f64::NAN)
+                    );
+                }
+            }
+            if !ratios.is_empty() {
+                let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+                let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let _ = writeln!(
+                    output.report,
+                    "SOS carbon vsTLC across replicas: mean {mean:.3}, min {min:.3}, max {max:.3}"
+                );
+            }
+        }
+        output.report.push('\n');
+    }
+    let _ = writeln!(output.report, "perf: {}", perf_total.counter_summary());
+    output
+        .report
+        .push_str("expected shape: SOS ~2/3 of TLC carbon; zero SYS loss; SPARE media\n");
+    output
+        .report
+        .push_str("PSNR above the quality floor over the device life; p99 reads higher\n");
+    output.report.push_str("on PLC but adequate (§4.5).\n");
+    output.diagnostics = runner_diagnostics("E11", &runner, &perf_total);
+    output
+}
+
+/// Serial reference for E11's primary table: the historical
+/// single-seed [`compare`] path (kept callable so tests can check the
+/// parallel port against it).
+pub fn end_to_end_primary_serial(days: u32, base_seed: u64) -> String {
+    let config = SimConfig {
+        days,
+        profile: UsageProfile::Typical,
+        seed: base_seed,
+        cloud_coverage: 0.0,
+        workload_bytes: 0,
+    };
+    format_comparison(&compare(&config))
+}
+
+// ---------------------------------------------------------------------------
+// E12: crash sweep
+// ---------------------------------------------------------------------------
+
+/// Options for [`crash_sweep_report`] (experiment E12).
+#[derive(Debug, Clone)]
+pub struct CrashSweepOptions {
+    /// Total simulated days, divided across shards.
+    pub days: u64,
+    /// Checkpoint interval in days.
+    pub checkpoint_interval: u64,
+    /// Independent device lives run in parallel; shard `i` is seeded
+    /// `task_seed(base_seed, i)`.
+    pub shards: u64,
+    /// Base RNG seed (`SOS_SEED` in the binary).
+    pub base_seed: u64,
+}
+
+impl Default for CrashSweepOptions {
+    fn default() -> Self {
+        CrashSweepOptions {
+            days: 120,
+            checkpoint_interval: 5,
+            shards: 8,
+            base_seed: 11,
+        }
+    }
+}
+
+/// One shard's merged-in outcome.
+struct ShardOutcome {
+    days: u64,
+    crashes: u64,
+    checkpoints: u64,
+    torn_pages: u64,
+    sys_repaired: u64,
+    sys_lost: u64,
+    spare_lost: u64,
+    resurrected_trimmed: u64,
+    findings: Vec<String>,
+}
+
+fn run_crash_shard(
+    shard: usize,
+    shard_days: u64,
+    checkpoint_interval: u64,
+    seed: u64,
+) -> ShardOutcome {
+    let extractor = FeatureExtractor::default();
+    let corpus = multi_user_corpus(&extractor, 1, 3);
+    let mut model = LogisticRegression::default();
+    model.train(&corpus.features, &corpus.labels);
+    let device = SosDevice::new(&SosConfig::tiny(seed));
+    let capacity = device.capacity_bytes();
+    let life = DeviceLife::new(WorkloadConfig::phone(capacity, UsageProfile::Typical, seed));
+    let mut controller = SosController::new(
+        device,
+        model,
+        extractor,
+        life,
+        CloudConfig::none(),
+        ControllerConfig::default(),
+    );
+    match run_crashy_days(&mut controller, shard_days, checkpoint_interval, seed) {
+        Ok(report) => ShardOutcome {
+            days: report.days,
+            crashes: report.crashes,
+            checkpoints: report.checkpoints,
+            torn_pages: report.torn_pages,
+            sys_repaired: report.sys_repaired,
+            sys_lost: report.sys_lost,
+            spare_lost: report.spare_lost,
+            resurrected_trimmed: report.resurrected_trimmed,
+            findings: report
+                .findings
+                .iter()
+                .map(|finding| format!("shard {shard}: {finding}"))
+                .collect(),
+        },
+        Err(error) => ShardOutcome {
+            days: 0,
+            crashes: 0,
+            checkpoints: 0,
+            torn_pages: 0,
+            sys_repaired: 0,
+            sys_lost: 0,
+            spare_lost: 0,
+            resurrected_trimmed: 0,
+            findings: vec![format!("shard {shard}: UNRECOVERABLE — {error}")],
+        },
+    }
+}
+
+/// Runs E12: `shards` independent crashy device lives in parallel,
+/// each with its own seed, device, workload, and crash schedule;
+/// results are summed and findings concatenated in shard order.
+pub fn crash_sweep_report(options: &CrashSweepOptions, threads: usize) -> ExperimentOutput {
+    let shards = options.shards.max(1);
+    let shard_days = options.days.div_ceil(shards).max(1);
+    let checkpoint_interval = options.checkpoint_interval.max(1);
+    let tasks: Vec<u64> = (0..shards).collect();
+    let base_seed = options.base_seed;
+    let (outcomes, runner) = run_tasks(&tasks, threads, |index, _| {
+        run_crash_shard(
+            index,
+            shard_days,
+            checkpoint_interval,
+            task_seed(base_seed, index),
+        )
+    });
+
+    let mut output = ExperimentOutput::default();
+    let _ = writeln!(
+        output.report,
+        "# E12 — crash sweep: {shards} shard(s) x {shard_days} days, checkpoint every {checkpoint_interval} days, SOS_SEED={base_seed}\n"
+    );
+    let mut total = ShardOutcome {
+        days: 0,
+        crashes: 0,
+        checkpoints: 0,
+        torn_pages: 0,
+        sys_repaired: 0,
+        sys_lost: 0,
+        spare_lost: 0,
+        resurrected_trimmed: 0,
+        findings: Vec::new(),
+    };
+    for outcome in outcomes {
+        total.days += outcome.days;
+        total.crashes += outcome.crashes;
+        total.checkpoints += outcome.checkpoints;
+        total.torn_pages += outcome.torn_pages;
+        total.sys_repaired += outcome.sys_repaired;
+        total.sys_lost += outcome.sys_lost;
+        total.spare_lost += outcome.spare_lost;
+        total.resurrected_trimmed += outcome.resurrected_trimmed;
+        total.findings.extend(outcome.findings);
+    }
+    let _ = writeln!(output.report, "days simulated        {}", total.days);
+    let _ = writeln!(output.report, "power cuts fired      {}", total.crashes);
+    let _ = writeln!(output.report, "checkpoints taken     {}", total.checkpoints);
+    let _ = writeln!(output.report, "torn pages found      {}", total.torn_pages);
+    let _ = writeln!(
+        output.report,
+        "SYS pages repaired    {}",
+        total.sys_repaired
+    );
+    let _ = writeln!(
+        output.report,
+        "SYS pages lost        {} (declared)",
+        total.sys_lost
+    );
+    let _ = writeln!(
+        output.report,
+        "SPARE pages lost      {} (declared)",
+        total.spare_lost
+    );
+    let _ = writeln!(
+        output.report,
+        "resurrected trims     {}",
+        total.resurrected_trimmed
+    );
+    let _ = writeln!(
+        output.report,
+        "auditor findings      {}",
+        total.findings.len()
+    );
+    for finding in &total.findings {
+        let _ = writeln!(output.report, "  {finding}");
+    }
+    if total.findings.is_empty() {
+        output
+            .report
+            .push_str("\ncrash consistency holds: every remount rebuilt the pre-crash\n");
+        output
+            .report
+            .push_str("state minus the declared crash window (repair-or-declare, torn\n");
+        output
+            .report
+            .push_str("pages never resurfacing, directory byte-stable).\n");
+    } else {
+        output
+            .report
+            .push_str("\nVIOLATIONS FOUND — crash consistency is broken.\n");
+        output.failed = true;
+    }
+    output.diagnostics = runner_diagnostics("E12", &runner, &PerfCounters::default());
+    output
+}
+
+// ---------------------------------------------------------------------------
+// E10: wear-leveling ablation
+// ---------------------------------------------------------------------------
+
+struct AblationOutcome {
+    flash_writes: u64,
+    erases: u64,
+    spread: u32,
+    max_pec: u32,
+}
+
+fn ablation_arm(wear_leveling: WearLevelingConfig, rounds: u64) -> AblationOutcome {
+    let mut config = FtlConfig::conventional(ProgramMode::native(CellDensity::Plc));
+    config.ecc = sos_ecc::EccScheme::DetectOnly;
+    config.wear_leveling = wear_leveling;
+    config.gc_policy = GcPolicy::Greedy;
+    let mut ftl = Ftl::new(&DeviceConfig::tiny(CellDensity::Plc).with_seed(21), config);
+    let cap = ftl.logical_pages();
+    let page = vec![0xABu8; ftl.page_bytes()];
+    for lpn in 0..cap {
+        ftl.write(lpn, &page).expect("fill");
+    }
+    // Hot/cold skew: 90% of writes to 10% of the space.
+    let hot = (cap / 10).max(1);
+    let mut x = 5u64;
+    for i in 0..rounds * cap {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let lpn = if i % 10 != 0 {
+            x % hot
+        } else {
+            hot + x % (cap - hot)
+        };
+        ftl.write(lpn, &page).expect("write");
+    }
+    let wear = ftl.wear_summary();
+    let stats = ftl.stats();
+    AblationOutcome {
+        flash_writes: stats.flash_writes,
+        erases: ftl.device().stats().erases,
+        spread: wear.max_pec - wear.min_pec,
+        max_pec: wear.max_pec,
+    }
+}
+
+/// Runs E10: wear leveling ON vs OFF on identical skewed workloads, the
+/// two arms in parallel.
+pub fn wl_ablation_report(rounds: u64, threads: usize) -> ExperimentOutput {
+    let arms = [
+        ("wear leveling OFF", WearLevelingConfig::disabled()),
+        ("wear leveling ON", WearLevelingConfig::enabled(16)),
+    ];
+    let (outcomes, runner) = run_tasks(&arms, threads, |_, (_, config)| {
+        ablation_arm(*config, rounds)
+    });
+
+    let mut output = ExperimentOutput::default();
+    output
+        .report
+        .push_str("# E10 — wear-leveling ablation on PLC (hot/cold skewed writes)\n");
+    let _ = writeln!(
+        output.report,
+        "{:<22} {:>13} {:>9} {:>9} {:>9}",
+        "config", "flash writes", "erases", "spread", "max PEC"
+    );
+    for ((name, _), outcome) in arms.iter().zip(&outcomes) {
+        let _ = writeln!(
+            output.report,
+            "{:<22} {:>13} {:>9} {:>9} {:>9}",
+            name, outcome.flash_writes, outcome.erases, outcome.spread, outcome.max_pec
+        );
+    }
+    if let [without, with] = &outcomes[..] {
+        let overhead = (with.flash_writes as f64 / without.flash_writes as f64 - 1.0) * 100.0;
+        let _ = writeln!(
+            output.report,
+            "\nwear leveling narrowed the PEC spread {}x (={} vs {}) but cost {:.1}% extra",
+            if with.spread > 0 {
+                without.spread / with.spread.max(1)
+            } else {
+                without.spread
+            },
+            with.spread,
+            without.spread,
+            overhead
+        );
+        output
+            .report
+            .push_str("flash writes — the Jiao-et-al. trade the paper's SPARE partition avoids\n");
+        output
+            .report
+            .push_str("by *disabling* preemptive leveling (§4.3).\n");
+    }
+    output.diagnostics = runner_diagnostics("E10", &runner, &PerfCounters::default());
+    output
+}
+
+// ---------------------------------------------------------------------------
+// E9: capacity variance
+// ---------------------------------------------------------------------------
+
+fn variance_wear_cycle(ftl: &mut Ftl, rounds: u64, seed: &mut u64) {
+    let cap = ftl.logical_pages();
+    // Capacity variance: when the device can no longer hold the full
+    // logical set, the host deletes (trims) the excess before writing —
+    // the paper's auto-delete behaviour.
+    let sustainable = ftl.sustainable_pages();
+    if sustainable < cap {
+        for lpn in sustainable..cap {
+            let _ = ftl.trim(lpn);
+        }
+    }
+    let live = sustainable.min(cap).max(1);
+    let page = vec![0x77u8; ftl.page_bytes()];
+    for _ in 0..rounds * live {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let lpn = *seed % live;
+        // Ignore NoSpace near end of life: the device is dying, which is
+        // the point of the experiment.
+        let _ = ftl.write(lpn, &page);
+    }
+}
+
+fn variance_policy_section(policy: ResuscitationPolicy, label: &str) -> String {
+    let mut config = FtlConfig::sos_spare();
+    config.ecc = sos_ecc::EccScheme::DetectOnly;
+    config.resuscitation = policy;
+    let mut ftl = Ftl::new(&DeviceConfig::tiny(CellDensity::Plc).with_seed(17), config);
+    let cap = ftl.logical_pages();
+    let page = vec![0x11u8; ftl.page_bytes()];
+    for lpn in 0..cap {
+        ftl.write(lpn, &page).expect("fill");
+    }
+    let mut section = String::new();
+    let _ = writeln!(section, "\n## {label}");
+    let _ = writeln!(
+        section,
+        "{:<8} {:>10} {:>12} {:>9} {:>8} {:>13}",
+        "epoch", "mean PEC", "sustainable", "retired", "resusc", "pseudo-TLC blks"
+    );
+    let mut seed = 1u64;
+    for epoch in 0..8 {
+        variance_wear_cycle(&mut ftl, 12, &mut seed);
+        ftl.advance_days(90.0);
+        let _ = ftl.scrub();
+        let wear = ftl.wear_summary();
+        let geometry = *ftl.device().geometry();
+        let mut pseudo = 0;
+        for block in 0..geometry.total_blocks() {
+            if let Ok(mode) = ftl.device().block_mode(block) {
+                if mode == ProgramMode::pseudo(CellDensity::Plc, CellDensity::Tlc) {
+                    pseudo += 1;
+                }
+            }
+        }
+        let _ = writeln!(
+            section,
+            "{:<8} {:>10.0} {:>12} {:>9} {:>8} {:>13}",
+            epoch,
+            wear.mean_pec,
+            ftl.sustainable_pages(),
+            ftl.stats().blocks_retired,
+            ftl.stats().blocks_resuscitated,
+            pseudo
+        );
+    }
+    section
+}
+
+fn hostfs_shrink_section() -> String {
+    use sos_core::FtlPageStore;
+    use sos_hostfs::HostFs;
+
+    let mut section = String::new();
+    section.push_str("\n## Host FS shrink (CPR-style relocation over a live FTL)\n");
+    // Full-strength ECC for this demo: it is about relocation mechanics,
+    // not approximation.
+    let ftl = Ftl::new(
+        &DeviceConfig::tiny(CellDensity::Plc).with_seed(3),
+        FtlConfig::conventional(ProgramMode::native(CellDensity::Plc)),
+    );
+    let mut fs = HostFs::format(FtlPageStore::new(ftl));
+    let page = fs.page_bytes();
+    for index in 0..8 {
+        let id = fs
+            .create(&format!("/media/clip{index}.mp4"), 2)
+            .expect("create");
+        fs.write(id, 0, &vec![index as u8; page * 40])
+            .expect("write");
+    }
+    fs.delete("/media/clip0.mp4").expect("delete");
+    fs.delete("/media/clip1.mp4").expect("delete");
+    let before = fs.capacity_pages();
+    // Shrink hard enough that surviving extents must relocate into the
+    // holes the deletions left.
+    let target = fs.used_pages() + 20;
+    let moved = fs.shrink(target).expect("shrink fits");
+    let _ = writeln!(
+        section,
+        "capacity {before} -> {target} pages; {moved} pages relocated by the FS"
+    );
+    // All files still intact.
+    for index in 2..8 {
+        let id = fs
+            .lookup(&format!("/media/clip{index}.mp4"))
+            .expect("exists");
+        let data = fs.read(id, 0, page * 40).expect("read");
+        assert!(
+            data.iter().all(|&b| b == index as u8),
+            "clip{index} corrupted"
+        );
+    }
+    section.push_str("all surviving files verified intact after relocation\n");
+    section
+}
+
+/// Runs E9: the two resuscitation-policy arms in parallel, then the
+/// serial host-FS shrink demo.
+pub fn capacity_variance_report(threads: usize) -> ExperimentOutput {
+    let arms = [
+        ("retire-only policy", ResuscitationPolicy::retire_only()),
+        (
+            "resuscitation ladder (pseudo-TLC, then pseudo-SLC)",
+            ResuscitationPolicy::plc_default(),
+        ),
+    ];
+    let (sections, runner) = run_tasks(&arms, threads, |_, (label, policy)| {
+        variance_policy_section(policy.clone(), label)
+    });
+    let mut output = ExperimentOutput::default();
+    output
+        .report
+        .push_str("# E9 — capacity variance under wear\n");
+    for section in &sections {
+        output.report.push_str(section);
+    }
+    output.report.push_str(&hostfs_shrink_section());
+    output
+        .report
+        .push_str("\npaper shape: capacity shrinks gradually; resuscitation converts\n");
+    output
+        .report
+        .push_str("worn PLC blocks to pseudo-TLC instead of losing them outright.\n");
+    output.diagnostics = runner_diagnostics("E9", &runner, &PerfCounters::default());
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_tiny_run_is_thread_invariant() {
+        let options = EndToEndOptions {
+            days: 4,
+            heavy: false,
+            replicas: 2,
+            base_seed: 77,
+            workload_bytes: 8 << 20,
+        };
+        let serial = end_to_end_report(&options, 1);
+        let parallel = end_to_end_report(&options, 4);
+        assert_eq!(serial.report, parallel.report);
+        assert!(serial.report.contains("Replica variance"));
+        assert!(serial.report.contains("rber-cache"));
+        assert!(!serial.failed);
+    }
+
+    #[test]
+    fn crash_sweep_tiny_run_is_thread_invariant() {
+        let options = CrashSweepOptions {
+            days: 6,
+            checkpoint_interval: 2,
+            shards: 3,
+            base_seed: 11,
+        };
+        let serial = crash_sweep_report(&options, 1);
+        let parallel = crash_sweep_report(&options, 4);
+        assert_eq!(serial.report, parallel.report);
+        assert!(!serial.failed, "violations:\n{}", serial.report);
+    }
+}

@@ -1,1 +1,18 @@
 //! Experiment harness library for the SOS reproduction.
+//!
+//! * [`runner`] — the deterministic parallel task runner (`SOS_THREADS`
+//!   workers, task-order merge, per-task seed derivation).
+//! * [`experiments`] — the `exp_*` experiment implementations as pure
+//!   option → report functions, parallelized on the runner.
+//! * [`perf`] — the `perf_suite` micro-kernel timings and their JSON
+//!   baseline format (`BENCH_0005.json`).
+
+pub mod experiments;
+pub mod perf;
+pub mod runner;
+
+pub use experiments::{
+    capacity_variance_report, crash_sweep_report, end_to_end_report, wl_ablation_report,
+    CrashSweepOptions, EndToEndOptions, ExperimentOutput,
+};
+pub use runner::{run_tasks, task_seed, thread_count, RunnerReport};

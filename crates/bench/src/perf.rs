@@ -1,0 +1,706 @@
+//! The `perf_suite` micro-benchmark kernels and their JSON baseline
+//! format (`BENCH_0005.json`).
+//!
+//! Five canonical kernels time the simulator's hot paths:
+//!
+//! | kernel           | what it times                                  |
+//! |------------------|------------------------------------------------|
+//! | `read_hot`       | the device read loop (RBER memo fast path)     |
+//! | `write_path`     | FTL host writes (ECC encode + program)         |
+//! | `gc_churn`       | overwrite pressure driving garbage collection  |
+//! | `recovery_scan`  | crash recovery's OOB scan + table rebuild      |
+//! | `end_to_end_day` | one simulated SOS device day (full stack)      |
+//!
+//! Every value is a **throughput** (higher is better), so the
+//! regression gate is a single ratio test: a kernel regresses when
+//! `current < baseline × (1 − tolerance)`. Results serialize to a
+//! small hand-rolled JSON document (the repo vendors no serde_json);
+//! the committed `BENCH_0005.json` at the repo root is a `--quick`
+//! baseline and CI compares quick-vs-quick.
+
+use crate::runner::task_seed;
+use sos_core::{run_design, DesignKind, SimConfig};
+use sos_flash::{CellDensity, DeviceConfig, FlashDevice, PageAddr, ProgramMode};
+use sos_ftl::{Ftl, FtlConfig, GcPolicy};
+use sos_workload::UsageProfile;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Format version of `BENCH_0005.json`.
+pub const BENCH_VERSION: u32 = 1;
+
+/// One kernel's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Kernel name.
+    pub name: String,
+    /// Throughput (higher is better).
+    pub value: f64,
+    /// Unit of `value`.
+    pub unit: String,
+    /// RNG seed the kernel ran with.
+    pub seed: u64,
+    /// Worker threads the kernel used.
+    pub threads: usize,
+}
+
+/// A full suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Format version.
+    pub version: u32,
+    /// Whether this was a `--quick` run (baselines only compare
+    /// like-for-like).
+    pub quick: bool,
+    /// Kernel measurements.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"version\": {},", self.version);
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        out.push_str("  \"entries\": [");
+        for (i, entry) in self.entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"value\": {:.3}, \"unit\": {}, \"seed\": {}, \"threads\": {}}}",
+                quote(&entry.name),
+                entry.value,
+                quote(&entry.unit),
+                entry.seed,
+                entry.threads
+            );
+        }
+        out.push_str(if self.entries.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        out
+    }
+
+    /// Parses a report produced by [`BenchReport::to_json`]. Strict on
+    /// shape: unknown or missing keys are errors.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let value = JsonValue::parse(text)?;
+        let mut report = BenchReport {
+            version: 0,
+            quick: false,
+            entries: Vec::new(),
+        };
+        let mut saw_version = false;
+        for (key, value) in value.as_object()? {
+            match key.as_str() {
+                "version" => {
+                    report.version = value.as_f64()? as u32;
+                    saw_version = true;
+                }
+                "quick" => report.quick = value.as_bool()?,
+                "entries" => {
+                    for item in value.as_array()? {
+                        report.entries.push(parse_entry(item)?);
+                    }
+                }
+                other => return Err(format!("unknown report key `{other}`")),
+            }
+        }
+        if !saw_version {
+            return Err("missing `version`".into());
+        }
+        Ok(report)
+    }
+
+    /// Looks up a kernel by name.
+    pub fn entry(&self, name: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+fn parse_entry(value: &JsonValue) -> Result<BenchEntry, String> {
+    let mut entry = BenchEntry {
+        name: String::new(),
+        value: 0.0,
+        unit: String::new(),
+        seed: 0,
+        threads: 0,
+    };
+    for (key, value) in value.as_object()? {
+        match key.as_str() {
+            "name" => entry.name = value.as_str()?.to_string(),
+            "value" => entry.value = value.as_f64()?,
+            "unit" => entry.unit = value.as_str()?.to_string(),
+            "seed" => entry.seed = value.as_f64()? as u64,
+            "threads" => entry.threads = value.as_f64()? as usize,
+            other => return Err(format!("unknown entry key `{other}`")),
+        }
+    }
+    if entry.name.is_empty() {
+        return Err("entry missing `name`".into());
+    }
+    Ok(entry)
+}
+
+/// Compares a current run against a baseline. Returns the list of
+/// regression messages — kernels whose throughput fell below
+/// `baseline × (1 − tolerance)` — or an error when the two reports are
+/// not comparable (different mode or version).
+pub fn regressions(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    if baseline.version != current.version {
+        return Err(format!(
+            "baseline version {} != current version {}",
+            baseline.version, current.version
+        ));
+    }
+    if baseline.quick != current.quick {
+        return Err(format!(
+            "baseline quick={} but current quick={} — compare like-for-like",
+            baseline.quick, current.quick
+        ));
+    }
+    let mut failures = Vec::new();
+    for base in &baseline.entries {
+        let Some(now) = current.entry(&base.name) else {
+            failures.push(format!("kernel `{}` missing from current run", base.name));
+            continue;
+        };
+        if base.value <= 0.0 {
+            continue;
+        }
+        let floor = base.value * (1.0 - tolerance);
+        if now.value < floor {
+            failures.push(format!(
+                "kernel `{}` regressed: {:.1} {} vs baseline {:.1} (floor {:.1}, -{:.0}%)",
+                base.name,
+                now.value,
+                now.unit,
+                base.value,
+                floor,
+                (1.0 - now.value / base.value) * 100.0
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+const BASE_SEED: u64 = 7;
+
+/// Runs all kernels. `quick` shrinks iteration counts ~10x for CI
+/// smoke runs.
+pub fn run_suite(quick: bool) -> BenchReport {
+    BenchReport {
+        version: BENCH_VERSION,
+        quick,
+        entries: vec![
+            read_hot(quick),
+            write_path(quick),
+            gc_churn(quick),
+            recovery_scan(quick),
+            end_to_end_day(quick),
+        ],
+    }
+}
+
+/// The device read loop: repeated reads of programmed pages, the path
+/// the RBER memo accelerates.
+fn read_hot(quick: bool) -> BenchEntry {
+    let seed = task_seed(BASE_SEED, 0);
+    let mut device = FlashDevice::new(&DeviceConfig::tiny(CellDensity::Plc).with_seed(seed));
+    let geometry = *device.geometry();
+    let data = vec![0xA5u8; device.page_total_bytes()];
+    let blocks = 4u64.min(geometry.total_blocks());
+    let pages = geometry.pages_per_block;
+    for block in 0..blocks {
+        for page in 0..pages {
+            let addr = PageAddr {
+                block: geometry.block_addr(block),
+                page,
+            };
+            device.program(addr, &data).expect("program");
+        }
+    }
+    device.advance_days(30.0);
+    let iterations: u64 = if quick { 20_000 } else { 200_000 };
+    let span = blocks * pages as u64;
+    let started = Instant::now();
+    for i in 0..iterations {
+        let flat = i % span;
+        let addr = PageAddr {
+            block: geometry.block_addr(flat / pages as u64),
+            page: (flat % pages as u64) as u32,
+        };
+        device.read(addr).expect("read");
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    BenchEntry {
+        name: "read_hot".into(),
+        value: iterations as f64 / elapsed,
+        unit: "pages/s".into(),
+        seed,
+        threads: 1,
+    }
+}
+
+/// FTL host writes: ECC encode + program + mapping updates, light GC.
+fn write_path(quick: bool) -> BenchEntry {
+    let seed = task_seed(BASE_SEED, 1);
+    let config = FtlConfig::conventional(ProgramMode::native(CellDensity::Plc));
+    let mut ftl = Ftl::new(
+        &DeviceConfig::tiny(CellDensity::Plc).with_seed(seed),
+        config,
+    );
+    let cap = ftl.logical_pages();
+    let page = vec![0x3Cu8; ftl.page_bytes()];
+    let rounds: u64 = if quick { 3 } else { 20 };
+    let total = rounds * cap;
+    let started = Instant::now();
+    for i in 0..total {
+        ftl.write(i % cap, &page).expect("write");
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    BenchEntry {
+        name: "write_path".into(),
+        value: total as f64 / elapsed,
+        unit: "pages/s".into(),
+        seed,
+        threads: 1,
+    }
+}
+
+/// Overwrite churn concentrated on a hot range, forcing steady-state
+/// garbage collection.
+fn gc_churn(quick: bool) -> BenchEntry {
+    let seed = task_seed(BASE_SEED, 2);
+    let mut config = FtlConfig::conventional(ProgramMode::native(CellDensity::Plc));
+    config.gc_policy = GcPolicy::Greedy;
+    let mut ftl = Ftl::new(
+        &DeviceConfig::tiny(CellDensity::Plc).with_seed(seed),
+        config,
+    );
+    let cap = ftl.logical_pages();
+    let page = vec![0x99u8; ftl.page_bytes()];
+    for lpn in 0..cap {
+        ftl.write(lpn, &page).expect("fill");
+    }
+    let hot = (cap / 8).max(1);
+    let rounds: u64 = if quick { 6 } else { 40 };
+    let total = rounds * cap;
+    let mut x = seed | 1;
+    let started = Instant::now();
+    for _ in 0..total {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        ftl.write(x % hot, &page).expect("churn write");
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    BenchEntry {
+        name: "gc_churn".into(),
+        value: total as f64 / elapsed,
+        unit: "host-writes/s".into(),
+        seed,
+        threads: 1,
+    }
+}
+
+/// Crash recovery: the OOB scan and table rebuild over a filled device.
+fn recovery_scan(quick: bool) -> BenchEntry {
+    let seed = task_seed(BASE_SEED, 3);
+    let reps: u32 = if quick { 2 } else { 8 };
+    let mut oob_reads = 0u64;
+    let mut total_seconds = 0.0f64;
+    for rep in 0..reps {
+        let config = FtlConfig::conventional(ProgramMode::native(CellDensity::Plc));
+        let mut ftl = Ftl::new(
+            &DeviceConfig::tiny(CellDensity::Plc).with_seed(seed.wrapping_add(rep as u64)),
+            config.clone(),
+        );
+        let cap = ftl.logical_pages();
+        let page = vec![0x42u8; ftl.page_bytes()];
+        for lpn in 0..cap {
+            ftl.write(lpn, &page).expect("fill");
+        }
+        let device = ftl.into_device();
+        let before = device.stats().oob_reads;
+        let started = Instant::now();
+        let (recovered, _) = Ftl::recover(device, config).expect("recover");
+        total_seconds += started.elapsed().as_secs_f64();
+        oob_reads += recovered.device().stats().oob_reads - before;
+    }
+    BenchEntry {
+        name: "recovery_scan".into(),
+        value: oob_reads as f64 / total_seconds.max(1e-9),
+        unit: "oob-reads/s".into(),
+        seed,
+        threads: 1,
+    }
+}
+
+/// One full-stack SOS device life slice: classifier, controller,
+/// workload, both partitions.
+fn end_to_end_day(quick: bool) -> BenchEntry {
+    let seed = 77;
+    let days: u32 = if quick { 3 } else { 15 };
+    let config = SimConfig {
+        days,
+        profile: UsageProfile::Typical,
+        seed,
+        cloud_coverage: 0.0,
+        workload_bytes: 0,
+    };
+    let started = Instant::now();
+    let result = run_design(DesignKind::Sos, &config);
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    // Keep the result alive so the simulation cannot be optimized out.
+    assert_eq!(result.days, days);
+    BenchEntry {
+        name: "end_to_end_day".into(),
+        value: days as f64 / elapsed,
+        unit: "sim-days/s".into(),
+        seed,
+        threads: 1,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+fn quote(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A just-big-enough JSON value for the bench format (no serde_json in
+/// the vendor set).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Bool(bool),
+    Number(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    fn as_object(&self) -> Result<&[(String, JsonValue)], String> {
+        match self {
+            JsonValue::Object(fields) => Ok(fields),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[JsonValue], String> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            JsonValue::Number(n) => Ok(*n),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek()? != byte {
+            return Err(format!("expected `{}` at byte {}", byte as char, self.pos));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::Str(self.string()?)),
+            b't' | b'f' => self.boolean(),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                other => return Err(format!("expected `,` or `}}`, got `{}`", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => return Err(format!("expected `,` or `]`, got `{}`", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let byte = self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match byte {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let escape = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        other => return Err(format!("unsupported escape `\\{}`", other as char)),
+                    }
+                }
+                other => out.push(other as char),
+            }
+        }
+    }
+
+    fn boolean(&mut self) -> Result<JsonValue, String> {
+        self.skip_whitespace();
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(b"true") {
+            self.pos += 4;
+            Ok(JsonValue::Bool(true))
+        } else if rest.starts_with(b"false") {
+            self.pos += 5;
+            Ok(JsonValue::Bool(false))
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number bytes".to_string())?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("invalid number `{text}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            version: BENCH_VERSION,
+            quick: true,
+            entries: vec![
+                BenchEntry {
+                    name: "read_hot".into(),
+                    value: 1234.5,
+                    unit: "pages/s".into(),
+                    seed: 7,
+                    threads: 1,
+                },
+                BenchEntry {
+                    name: "gc_churn".into(),
+                    value: 88.25,
+                    unit: "host-writes/s".into(),
+                    seed: 9,
+                    threads: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let parsed = BenchReport::from_json(&report.to_json()).expect("parse");
+        assert_eq!(parsed.version, report.version);
+        assert_eq!(parsed.quick, report.quick);
+        assert_eq!(parsed.entries.len(), 2);
+        let read_hot = parsed.entry("read_hot").expect("entry");
+        assert!((read_hot.value - 1234.5).abs() < 1e-3);
+        assert_eq!(read_hot.unit, "pages/s");
+        assert_eq!(read_hot.seed, 7);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let text = "{\"version\": 1, \"quick\": true, \"entries\": [], \"bogus\": 3}";
+        assert!(BenchReport::from_json(text).is_err());
+    }
+
+    #[test]
+    fn regression_gate_fires_below_floor() {
+        let baseline = sample();
+        let mut current = sample();
+        // 30% drop on read_hot: regression at 25% tolerance.
+        current.entries[0].value = baseline.entries[0].value * 0.7;
+        let failures = regressions(&baseline, &current, 0.25).expect("comparable");
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("read_hot"));
+        // 10% drop is within tolerance.
+        current.entries[0].value = baseline.entries[0].value * 0.9;
+        assert!(regressions(&baseline, &current, 0.25)
+            .expect("comparable")
+            .is_empty());
+    }
+
+    #[test]
+    fn missing_kernel_is_a_failure() {
+        let baseline = sample();
+        let mut current = sample();
+        current.entries.pop();
+        let failures = regressions(&baseline, &current, 0.25).expect("comparable");
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("gc_churn"));
+    }
+
+    #[test]
+    fn mode_mismatch_is_not_comparable() {
+        let baseline = sample();
+        let mut current = sample();
+        current.quick = false;
+        assert!(regressions(&baseline, &current, 0.25).is_err());
+    }
+
+    #[test]
+    fn quick_suite_produces_all_kernels() {
+        let report = run_suite(true);
+        assert!(report.quick);
+        assert_eq!(report.entries.len(), 5);
+        for name in [
+            "read_hot",
+            "write_path",
+            "gc_churn",
+            "recovery_scan",
+            "end_to_end_day",
+        ] {
+            let entry = report.entry(name).expect(name);
+            assert!(entry.value > 0.0, "{name} produced no throughput");
+            assert!(!entry.unit.is_empty());
+        }
+        // And it round-trips through the baseline format.
+        let parsed = BenchReport::from_json(&report.to_json()).expect("parse");
+        assert_eq!(parsed.entries.len(), 5);
+    }
+}

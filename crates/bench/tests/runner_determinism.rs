@@ -1,0 +1,55 @@
+//! Pins the harness's core guarantee: experiment stdout is
+//! byte-identical whatever `SOS_THREADS` says.
+//!
+//! The heavyweight experiments (E11 end-to-end, E12 crash sweep) carry
+//! their own thread-invariance tests next to their implementations;
+//! here the two remaining ported experiments get the same treatment,
+//! including the exact 1/2/8 thread ladder the harness documents, plus
+//! the stdout/stderr split that keeps wall-clock noise out of reports.
+
+use sos_bench::{capacity_variance_report, wl_ablation_report};
+
+/// Non-deterministic wall-clock text must never leak into the report
+/// half of an experiment's output.
+fn assert_report_is_clock_free(report: &str) {
+    for marker in ["utilization", "s wall", "s busy"] {
+        assert!(
+            !report.contains(marker),
+            "timing text {marker:?} leaked into deterministic stdout:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn wl_ablation_is_identical_across_threads_1_2_8() {
+    let rounds = 120;
+    let baseline = wl_ablation_report(rounds, 1);
+    assert!(baseline.report.contains("E10"), "{}", baseline.report);
+    assert!(!baseline.failed);
+    assert_report_is_clock_free(&baseline.report);
+    assert!(
+        baseline.diagnostics.contains("utilization"),
+        "runner diagnostics missing from stderr text:\n{}",
+        baseline.diagnostics
+    );
+    for threads in [2, 8] {
+        let parallel = wl_ablation_report(rounds, threads);
+        assert_eq!(
+            baseline.report, parallel.report,
+            "E10 stdout diverged between 1 and {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn capacity_variance_is_identical_across_threads() {
+    let serial = capacity_variance_report(1);
+    let parallel = capacity_variance_report(2);
+    assert!(serial.report.contains("E9"), "{}", serial.report);
+    assert!(!serial.failed);
+    assert_report_is_clock_free(&serial.report);
+    assert_eq!(
+        serial.report, parallel.report,
+        "E9 stdout diverged between 1 and 2 thread(s)"
+    );
+}

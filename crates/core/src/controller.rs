@@ -304,7 +304,12 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
     /// Measures PSNR of all sampled media still alive; repairs from the
     /// cloud when quality fell through the floor.
     pub fn measure_quality(&mut self) -> Vec<f64> {
-        let ids: Vec<ObjectId> = self.originals.keys().copied().collect();
+        // Measure in id order: HashMap iteration order is process-random
+        // and each `get` disturbs device state (read-disturb counters,
+        // error-sampling RNG draws), so an unsorted walk makes the
+        // reported PSNR vary run to run.
+        let mut ids: Vec<ObjectId> = self.originals.keys().copied().collect();
+        ids.sort_unstable();
         let mut psnrs = Vec::with_capacity(ids.len());
         for id in ids {
             let data = match self.device.get(id) {

@@ -9,8 +9,8 @@ use crate::baseline::BaselineDevice;
 use crate::cloud::CloudConfig;
 use crate::controller::{ControllerConfig, ControllerStats, SosController};
 use crate::device::{SosConfig, SosDevice};
-use crate::metrics::LatencySummary;
-use crate::object::{DeviceCounters, ObjectStore};
+use crate::metrics::{LatencySummary, PerfCounters};
+use crate::object::{DeviceCounters, ObjectStore, Partition};
 use serde::{Deserialize, Serialize};
 use sos_carbon::EmbodiedModel;
 use sos_classify::{multi_user_corpus, Classifier, FeatureExtractor, LogisticRegression};
@@ -101,6 +101,10 @@ pub struct SimResult {
     /// Fraction of bytes living on the SPARE partition at the end
     /// (0 for baselines).
     pub spare_byte_fraction: f64,
+    /// Runtime performance counters (cache hit rates, flash page
+    /// throughput). `perf.wall_seconds` is host timing and therefore
+    /// non-deterministic; everything else is seed-stable.
+    pub perf: PerfCounters,
 }
 
 /// Embodied carbon per exported GB for a device built from
@@ -176,8 +180,17 @@ fn run_with<D: ObjectStore>(
     )
 }
 
+/// Folds one flash device's stats into a [`PerfCounters`] accumulator.
+fn absorb_flash_stats(perf: &mut PerfCounters, stats: &sos_flash::device::DeviceStats) {
+    perf.rber_cache_hits += stats.rber_cache_hits;
+    perf.rber_cache_misses += stats.rber_cache_misses;
+    perf.pages_read += stats.reads;
+    perf.pages_programmed += stats.programs;
+}
+
 /// Runs one design through a simulated device life.
 pub fn run_design(kind: DesignKind, config: &SimConfig) -> SimResult {
+    let started = std::time::Instant::now();
     let model = EmbodiedModel::default();
     match kind {
         DesignKind::TlcBaseline | DesignKind::QlcBaseline => {
@@ -194,6 +207,9 @@ pub fn run_design(kind: DesignKind, config: &SimConfig) -> SimResult {
             let capacity = device.capacity_bytes();
             let raw = device.partition().ftl.device().geometry().raw_bytes();
             let (device, stats, latency, final_psnr, worst) = run_with(device, config, false);
+            let mut perf = PerfCounters::default();
+            absorb_flash_stats(&mut perf, &device.partition().ftl.device().stats());
+            perf.wall_seconds = started.elapsed().as_secs_f64();
             SimResult {
                 design: kind.name().to_string(),
                 days: config.days,
@@ -206,6 +222,7 @@ pub fn run_design(kind: DesignKind, config: &SimConfig) -> SimResult {
                 final_median_psnr: final_psnr,
                 worst_min_psnr: worst,
                 spare_byte_fraction: 0.0,
+                perf,
             }
         }
         DesignKind::Sos => {
@@ -214,6 +231,16 @@ pub fn run_design(kind: DesignKind, config: &SimConfig) -> SimResult {
             let capacity = device.capacity_bytes();
             let raw = sos_config.base.geometry.raw_bytes();
             let (device, stats, latency, final_psnr, worst) = run_with(device, config, true);
+            let mut perf = PerfCounters::default();
+            absorb_flash_stats(
+                &mut perf,
+                &device.partition(Partition::Sys).ftl.device().stats(),
+            );
+            absorb_flash_stats(
+                &mut perf,
+                &device.partition(Partition::Spare).ftl.device().stats(),
+            );
+            perf.wall_seconds = started.elapsed().as_secs_f64();
             let (sys_bytes, spare_bytes) = device.partition_bytes();
             let total = (sys_bytes + spare_bytes).max(1);
             SimResult {
@@ -228,6 +255,7 @@ pub fn run_design(kind: DesignKind, config: &SimConfig) -> SimResult {
                 final_median_psnr: final_psnr,
                 worst_min_psnr: worst,
                 spare_byte_fraction: spare_bytes as f64 / total as f64,
+                perf,
             }
         }
     }

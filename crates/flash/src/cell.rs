@@ -143,33 +143,55 @@ impl CellModel {
         }
     }
 
+    /// The slow-changing part of the threshold-voltage standard
+    /// deviation: beginning-of-life sigma widened by wear (oxide damage)
+    /// and retention (charge leakage over time, faster on worn cells).
+    ///
+    /// Both inputs change only on program, erase, or an `advance_days`
+    /// clock tick — never on a read — which is what makes the result
+    /// memoizable per block (see [`RberCache`](crate::RberCache)). The
+    /// transcendental work (`powf`, `ln`) all lives here.
+    pub fn sigma_static(&self, pec: u32, retention_days: f64) -> f64 {
+        let rated = self.physical.rated_endurance() as f64;
+        let wear_frac = pec as f64 / rated;
+        let wear = 1.0 + self.wear_coef * wear_frac.powf(self.wear_exp);
+        let retention = 1.0
+            + self.retention_coef * (1.0 + retention_days).ln() * (0.3 + 0.7 * wear_frac.min(2.0));
+        self.sigma0 * wear * retention
+    }
+
+    /// Linear read-disturb multiplier: each read adds a fixed sliver of
+    /// noise energy, so the first-order effect on the error rate is a
+    /// factor linear in the read count. This is the only stress term
+    /// that changes on the per-read hot path, and it costs one multiply.
+    pub fn disturb_multiplier(&self, reads_since_program: u64) -> f64 {
+        1.0 + self.read_disturb_coef * (reads_since_program as f64 / 1e6)
+    }
+
     /// Threshold-voltage standard deviation under a given stress history.
     ///
     /// Wear widens distributions (oxide damage), retention shifts and
     /// widens them over time — faster on worn cells — and heavy read
     /// traffic adds disturb noise.
     pub fn sigma(&self, state: CellState) -> f64 {
-        let rated = self.physical.rated_endurance() as f64;
-        let wear_frac = state.pec as f64 / rated;
-        let wear = 1.0 + self.wear_coef * wear_frac.powf(self.wear_exp);
-        let retention = 1.0
-            + self.retention_coef
-                * (1.0 + state.retention_days).ln()
-                * (0.3 + 0.7 * wear_frac.min(2.0));
-        let disturb = 1.0 + self.read_disturb_coef * (state.reads_since_program as f64 / 1e6);
-        self.sigma0 * wear * retention * disturb
+        self.sigma_static(state.pec, state.retention_days)
+            * self.disturb_multiplier(state.reads_since_program)
     }
 
-    /// Raw bit error rate for data programmed in `mode` under `state`.
+    /// Raw bit error rate at zero read disturb: the memoizable part of
+    /// [`CellModel::rber`]. The level spacing comes from the *logical*
+    /// (programmed) density, the noise from the physical cell — this is
+    /// what makes pseudo-modes more reliable on the same silicon.
     ///
-    /// The level spacing comes from the *logical* (programmed) density,
-    /// the noise from the physical cell — this is what makes pseudo-modes
-    /// more reliable on the same silicon.
+    /// The Q-function evaluation (an `exp` plus a rational polynomial)
+    /// lives here, on the memoizable side of the split: its inputs
+    /// (`mode`, `pec`, `retention_days`) change only on program, erase,
+    /// or `advance_days`, never on a read.
     ///
     /// # Panics
     ///
     /// Panics if `mode.physical` differs from the model's density.
-    pub fn rber(&self, mode: ProgramMode, state: CellState) -> f64 {
+    pub fn rber_static(&self, mode: ProgramMode, pec: u32, retention_days: f64) -> f64 {
         // sos-lint: allow(panic-path, "documented contract: the program mode must match the model's silicon; a mismatch is a configuration bug")
         assert_eq!(
             mode.physical, self.physical,
@@ -178,9 +200,47 @@ impl CellModel {
         let levels = mode.logical.levels() as f64;
         let bits = mode.logical.bits_per_cell() as f64;
         let spacing = 1.0 / (levels - 1.0);
-        let sigma = self.sigma(state);
-        let level_err = 2.0 * (levels - 1.0) / levels * q_function(spacing / (2.0 * sigma));
-        (level_err / bits).min(0.5)
+        let sigma = self.sigma_static(pec, retention_days);
+        // Per-cell level error rate, spread across the logical bits.
+        2.0 * (levels - 1.0) / levels * q_function(spacing / (2.0 * sigma)) / bits
+    }
+
+    /// Raw bit error rate for data programmed in `mode` under `state`.
+    ///
+    /// Structured as `rber_static × disturb_multiplier`, clamped to the
+    /// coin-flip ceiling: the expensive wear/retention/Q-function work
+    /// depends only on inputs that change at program/erase/clock-tick
+    /// granularity, and read disturb enters as a linear multiplier on
+    /// the error rate (the first-order expansion of its effect through
+    /// the Q-function, exact at zero reads and within the model's
+    /// calibration error for the <1% sigma shifts real read counts
+    /// produce). That split is what lets the device memoize everything
+    /// but one multiply off the per-read path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode.physical` differs from the model's density.
+    pub fn rber(&self, mode: ProgramMode, state: CellState) -> f64 {
+        (self.rber_static(mode, state.pec, state.retention_days)
+            * self.disturb_multiplier(state.reads_since_program))
+        .min(0.5)
+    }
+
+    /// Per-page raw bit error rate: [`CellModel::rber`] with the
+    /// page-type asymmetry factor applied, computed naively with no
+    /// caching. This is the reference oracle the memoized read path
+    /// ([`RberCache`](crate::RberCache)) must reproduce **bit-identically**;
+    /// the property test in `tests/proptest_rber.rs` pins that
+    /// equivalence across program/erase/advance_days invalidations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode.physical` differs from the model's density.
+    pub fn page_rber(&self, mode: ProgramMode, state: CellState, page_type: u32) -> f64 {
+        (self.rber_static(mode, state.pec, state.retention_days)
+            * Self::page_type_factor(mode, page_type)
+            * self.disturb_multiplier(state.reads_since_program))
+        .min(0.5)
     }
 
     /// Relative RBER multiplier for one *page type* of a multi-bit cell.

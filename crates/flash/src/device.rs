@@ -13,6 +13,7 @@ use crate::errors::ErrorModel;
 use crate::fault::{FaultInjector, FaultKind, FaultOp};
 use crate::geometry::{Geometry, PageAddr};
 use crate::oob::OobMeta;
+use crate::rbercache::RberCache;
 use crate::timing::TimingModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -131,6 +132,10 @@ struct BlockState {
     next_page: u32,
     /// Reads since last program anywhere in the block (read disturb).
     reads_since_program: u64,
+    /// Memo of the static RBER term for resident data; keyed on exact
+    /// retention age and page type, invalidated by the `(mode, pec)`
+    /// epoch so erases and mode changes can never serve stale values.
+    rber_cache: RberCache,
 }
 
 /// Stored contents of a programmed page.
@@ -160,6 +165,10 @@ pub struct DeviceStats {
     pub bit_errors_injected: u64,
     /// Total device busy time, µs.
     pub busy_us: f64,
+    /// Reads whose static RBER term was served from the per-block memo.
+    pub rber_cache_hits: u64,
+    /// Reads that had to recompute the static RBER term.
+    pub rber_cache_misses: u64,
 }
 
 /// Read-only view of one block's management state, taken by
@@ -215,6 +224,7 @@ impl FlashDevice {
                 bad: false,
                 next_page: 0,
                 reads_since_program: 0,
+                rber_cache: RberCache::new(),
             })
             .collect();
         FlashDevice {
@@ -636,21 +646,32 @@ impl FlashDevice {
             return Err(FlashError::TornPage(index));
         }
         let retention_days = (now - page.programmed_day).max(0.0);
-        let cell_state = CellState {
-            pec,
-            retention_days,
-            reads_since_program: reads,
-        };
+        let mut data = page.data.to_vec();
         // Per-page-type asymmetry: lower pages of a multi-bit wordline
         // are more reliable than upper pages.
         let page_type = addr
             .page
             .checked_rem(cell_state_mode.logical.bits_per_cell())
             .unwrap_or(0);
-        let rber = (self.error_model.rber(cell_state_mode, cell_state)
-            * crate::cell::CellModel::page_type_factor(cell_state_mode, page_type))
-        .min(0.5);
-        let mut data = page.data.to_vec();
+        // Hot path: the wear/retention/Q-function work is memoized per
+        // block; only the linear disturb multiplier depends on this
+        // read's count. Bit-identical to `CellModel::page_rber` (the
+        // naive oracle) by construction — see `rbercache`.
+        let model = self.error_model.cell;
+        let (static_rber, cache_hit) = match self.blocks.get_mut(block as usize) {
+            Some(state) => {
+                state
+                    .rber_cache
+                    .lookup(&model, cell_state_mode, pec, retention_days, page_type)
+            }
+            None => return Err(FlashError::InvalidAddress),
+        };
+        if cache_hit {
+            self.stats.rber_cache_hits += 1;
+        } else {
+            self.stats.rber_cache_misses += 1;
+        }
+        let rber = (static_rber * model.disturb_multiplier(reads)).min(0.5);
         let nbits = data.len() * 8;
         let mut count = ErrorModel::sample_error_count(&mut self.rng, nbits, rber);
         let mut positions = ErrorModel::inject_errors(&mut self.rng, &mut data, count);

@@ -33,6 +33,7 @@ pub mod errors;
 pub mod fault;
 pub mod geometry;
 pub mod oob;
+pub mod rbercache;
 pub mod timing;
 
 pub use cell::CellState;
@@ -43,4 +44,5 @@ pub use errors::ErrorModel;
 pub use fault::{FaultAt, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRecord};
 pub use geometry::{BlockAddr, Geometry, PageAddr};
 pub use oob::{OobMeta, PageKind};
+pub use rbercache::RberCache;
 pub use timing::TimingModel;

@@ -1,0 +1,190 @@
+//! Exact-key memoization of the static RBER term.
+//!
+//! [`CellModel::rber`](crate::cell::CellModel::rber) splits into an
+//! expensive static part (`powf`, `ln`, and a Q-function over wear and
+//! retention) and a one-multiply read-disturb factor. The static part's
+//! inputs — program mode, program/erase count, and the retention age of
+//! the data — change only on program, erase, mode change, or an
+//! `advance_days` clock tick; between those events every read of a page
+//! programmed on the same day computes the identical value.
+//!
+//! [`RberCache`] exploits that: one cache per block, keyed **exactly**
+//! (no quantisation) on the full bit pattern of `retention_days` plus
+//! the page type, and invalidated wholesale whenever the block's
+//! `(mode, pec)` epoch moves. Because the key is exact and the cached
+//! value is produced by the very same `rber_static × page_type_factor`
+//! expression the naive formula evaluates, the memoized read path is
+//! bit-identical to recomputing from scratch — the property test in
+//! `tests/proptest_rber.rs` pins this with `f64::to_bits` equality.
+
+use crate::cell::CellModel;
+use crate::density::ProgramMode;
+use std::collections::HashMap;
+
+/// Upper bound on cached entries per block; reached only by pathological
+/// retention patterns (a block holding pages programmed on hundreds of
+/// distinct days), in which case the cache resets and re-fills — a
+/// correctness no-op, since entries are recomputed on demand.
+const MAX_ENTRIES: usize = 512;
+
+/// Per-block memo of `rber_static × page_type_factor` values.
+///
+/// The epoch is the block's `(mode, pec)` pair: an erase bumps `pec`, a
+/// mode change swaps `mode`, and either invalidates every entry. Clock
+/// advances and re-programs need no explicit invalidation because the
+/// retention age of each page is part of the key — a new "now" or a new
+/// `programmed_day` produces a different key and therefore a miss, never
+/// a stale hit.
+#[derive(Debug, Clone, Default)]
+pub struct RberCache {
+    epoch: Option<(ProgramMode, u32)>,
+    entries: HashMap<(u64, u32), f64>,
+}
+
+impl RberCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        RberCache::default()
+    }
+
+    /// Number of live entries (test observability).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `rber_static(mode, pec, retention_days) × page_type_factor`
+    /// for one page read, memoized. The second tuple element reports
+    /// whether this lookup was a cache hit, so the device can keep
+    /// hit/miss counters without the cache borrowing its stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode.physical` differs from the model's density (the
+    /// same documented contract as [`CellModel::rber_static`]).
+    pub fn lookup(
+        &mut self,
+        model: &CellModel,
+        mode: ProgramMode,
+        pec: u32,
+        retention_days: f64,
+        page_type: u32,
+    ) -> (f64, bool) {
+        if self.epoch != Some((mode, pec)) {
+            self.entries.clear();
+            self.epoch = Some((mode, pec));
+        }
+        if self.entries.len() >= MAX_ENTRIES {
+            self.entries.clear();
+        }
+        let key = (retention_days.to_bits(), page_type);
+        if let Some(&value) = self.entries.get(&key) {
+            return (value, true);
+        }
+        let value = model.rber_static(mode, pec, retention_days)
+            * CellModel::page_type_factor(mode, page_type);
+        self.entries.insert(key, value);
+        (value, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellState;
+    use crate::density::CellDensity;
+
+    fn oracle(model: &CellModel, mode: ProgramMode, pec: u32, days: f64, page_type: u32) -> f64 {
+        model.rber_static(mode, pec, days) * CellModel::page_type_factor(mode, page_type)
+    }
+
+    #[test]
+    fn hit_after_miss_is_bit_identical() {
+        let model = CellModel::for_density(CellDensity::Plc);
+        let mode = ProgramMode::native(CellDensity::Plc);
+        let mut cache = RberCache::new();
+        let (first, hit0) = cache.lookup(&model, mode, 120, 33.25, 2);
+        let (second, hit1) = cache.lookup(&model, mode, 120, 33.25, 2);
+        assert!(!hit0 && hit1);
+        assert_eq!(first.to_bits(), second.to_bits());
+        assert_eq!(
+            first.to_bits(),
+            oracle(&model, mode, 120, 33.25, 2).to_bits()
+        );
+    }
+
+    #[test]
+    fn erase_epoch_invalidates() {
+        let model = CellModel::for_density(CellDensity::Qlc);
+        let mode = ProgramMode::native(CellDensity::Qlc);
+        let mut cache = RberCache::new();
+        cache.lookup(&model, mode, 5, 10.0, 0);
+        assert_eq!(cache.len(), 1);
+        // Same retention key, new pec: must recompute, not reuse.
+        let (value, hit) = cache.lookup(&model, mode, 6, 10.0, 0);
+        assert!(!hit);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(value.to_bits(), oracle(&model, mode, 6, 10.0, 0).to_bits());
+    }
+
+    #[test]
+    fn mode_change_invalidates() {
+        let model = CellModel::for_density(CellDensity::Plc);
+        let native = ProgramMode::native(CellDensity::Plc);
+        let pseudo = ProgramMode::pseudo(CellDensity::Plc, CellDensity::Qlc);
+        let mut cache = RberCache::new();
+        cache.lookup(&model, native, 0, 0.0, 0);
+        let (value, hit) = cache.lookup(&model, pseudo, 0, 0.0, 0);
+        assert!(!hit);
+        assert_eq!(value.to_bits(), oracle(&model, pseudo, 0, 0.0, 0).to_bits());
+    }
+
+    #[test]
+    fn distinct_retention_ages_coexist() {
+        let model = CellModel::for_density(CellDensity::Tlc);
+        let mode = ProgramMode::native(CellDensity::Tlc);
+        let mut cache = RberCache::new();
+        for day in 0..40 {
+            cache.lookup(&model, mode, 9, day as f64 * 0.5, 1);
+        }
+        assert_eq!(cache.len(), 40);
+        // All 40 still hit.
+        for day in 0..40 {
+            let (_, hit) = cache.lookup(&model, mode, 9, day as f64 * 0.5, 1);
+            assert!(hit, "day {day} evicted unexpectedly");
+        }
+    }
+
+    #[test]
+    fn capacity_reset_stays_correct() {
+        let model = CellModel::for_density(CellDensity::Tlc);
+        let mode = ProgramMode::native(CellDensity::Tlc);
+        let mut cache = RberCache::new();
+        for i in 0..(MAX_ENTRIES * 2 + 7) {
+            let days = i as f64 * 0.125;
+            let (value, _) = cache.lookup(&model, mode, 3, days, 0);
+            assert_eq!(value.to_bits(), oracle(&model, mode, 3, days, 0).to_bits());
+        }
+        assert!(cache.len() <= MAX_ENTRIES);
+    }
+
+    #[test]
+    fn matches_full_page_rber_with_disturb_applied() {
+        let model = CellModel::for_density(CellDensity::Plc);
+        let mode = ProgramMode::pseudo(CellDensity::Plc, CellDensity::Qlc);
+        let mut cache = RberCache::new();
+        let state = CellState {
+            pec: 301,
+            retention_days: 77.5,
+            reads_since_program: 123_456,
+        };
+        let (cached, _) = cache.lookup(&model, mode, state.pec, state.retention_days, 3);
+        let assembled = (cached * model.disturb_multiplier(state.reads_since_program)).min(0.5);
+        let naive = model.page_rber(mode, state, 3);
+        assert_eq!(assembled.to_bits(), naive.to_bits());
+    }
+}

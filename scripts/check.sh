@@ -25,6 +25,9 @@ echo "==> sos-lint JSON report: target/sos-lint-report.json"
 if [[ "$fast" -eq 0 ]]; then
     run cargo build --release
     run cargo test -q
+    # Perf smoke: quick kernels vs the committed baseline; a missing
+    # baseline is a graceful skip inside perf_suite itself.
+    run ./target/release/perf_suite --quick --out target/BENCH_0005.json --check BENCH_0005.json
 fi
 
 echo "check.sh: all gates passed"
