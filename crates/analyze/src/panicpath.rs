@@ -89,7 +89,9 @@ impl EntryPoint {
 
 /// The default entry set: everything that runs during or immediately
 /// after a crash remount, plus the background paths (GC, scrub) whose
-/// abort would take down a device mid-service.
+/// abort would take down a device mid-service. The FDP placement
+/// backend is included explicitly: its bookkeeping runs inside the
+/// write, GC, and retire paths, where a panic is a device abort.
 pub fn recovery_entry_points() -> Vec<EntryPoint> {
     [
         ("Ftl", "recover"),
@@ -97,6 +99,14 @@ pub fn recovery_entry_points() -> Vec<EntryPoint> {
         ("Ftl", "ensure_free_space"),
         ("Ftl", "gc_once"),
         ("Ftl", "scrub"),
+        ("Ftl", "write_placed"),
+        ("StreamPlacement", "open_unit"),
+        ("StreamPlacement", "unit_for"),
+        ("StreamPlacement", "note_append"),
+        ("StreamPlacement", "close_unit"),
+        ("StreamPlacement", "evict_block"),
+        ("StreamPlacement", "note_erase"),
+        ("StreamPlacement", "open_units"),
         ("SosDevice", "recover_in_place"),
         ("StripeManager", "scrub_parity"),
         ("HostFs", "remount"),

@@ -68,7 +68,7 @@ fn main() -> ExitCode {
     };
     eprintln!(
         "perf_suite: running {} kernels ({} mode)...",
-        5,
+        6,
         if options.quick { "quick" } else { "full" }
     );
     let report = run_suite(options.quick);

@@ -11,14 +11,23 @@
 
 use crate::runner::{run_tasks, task_seed, RunnerReport};
 use sos_analyze::run_crashy_days;
+use sos_carbon::EmbodiedModel;
 use sos_classify::{multi_user_corpus, Classifier, FeatureExtractor, LogisticRegression};
 use sos_core::{
     compare, format_comparison, run_design, CloudConfig, ControllerConfig, DesignKind, ObjectStore,
     PerfCounters, SimConfig, SimResult, SosConfig, SosController, SosDevice,
 };
+use sos_ecc::PageStatus;
 use sos_flash::{CellDensity, DeviceConfig, ProgramMode};
-use sos_ftl::{Ftl, FtlConfig, GcPolicy, ResuscitationPolicy, WearLevelingConfig};
-use sos_workload::{DeviceLife, UsageProfile, WorkloadConfig};
+use sos_ftl::placement::{STREAM_COLD, STREAM_DEFAULT};
+use sos_ftl::{
+    DataClass, DataTag, Ftl, FtlConfig, FtlError, GcPolicy, PlacementStats, ResuscitationPolicy,
+    Temperature, WearLevelingConfig,
+};
+use sos_workload::{
+    CacheBackend, CacheBackendError, CacheClass, CacheDayReport, CacheReadback, CacheTemp,
+    DeviceLife, FlashCache, FlashCacheConfig, ObjectMeta, UsageProfile, WorkloadConfig,
+};
 use std::fmt::Write as _;
 
 /// What one experiment run produced.
@@ -665,6 +674,354 @@ pub fn capacity_variance_report(threads: usize) -> ExperimentOutput {
     output
 }
 
+// ---------------------------------------------------------------------------
+// E17: datacenter flash cache (FDP placement vs legacy streams vs no hints)
+// ---------------------------------------------------------------------------
+
+/// Placement policy an [`FtlCacheBackend`] applies to cache traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePlacement {
+    /// Every write lands on the default stream — the no-FDP baseline.
+    NoHints,
+    /// Magic stream numbers, pre-placement-API style: metadata on the
+    /// default stream, every object on one undifferentiated stream.
+    LegacyStreams,
+    /// Typed [`DataTag`]s: metadata as SYS/hot, objects as SPARE with
+    /// popularity-derived temperature and a TTL hint.
+    Fdp,
+}
+
+impl CachePlacement {
+    /// All arms, in report order (baseline first).
+    pub const ALL: [CachePlacement; 3] = [
+        CachePlacement::NoHints,
+        CachePlacement::LegacyStreams,
+        CachePlacement::Fdp,
+    ];
+
+    /// Human-readable arm label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CachePlacement::NoHints => "no hints",
+            CachePlacement::LegacyStreams => "legacy streams",
+            CachePlacement::Fdp => "FDP tags",
+        }
+    }
+}
+
+fn map_cache_error(error: FtlError) -> CacheBackendError {
+    match error {
+        FtlError::NoSpace => CacheBackendError::NoSpace,
+        other => CacheBackendError::Device(other.to_string()),
+    }
+}
+
+/// A [`CacheBackend`] over a real simulated FTL: slot `s` occupies
+/// logical pages `s * slot_pages ..`, and each write is placed per the
+/// configured [`CachePlacement`] policy. Objects are SPARE-class: they
+/// are never scrub-refreshed, so a read may come back decayed — the
+/// cache treats that as a miss and refetches from origin.
+pub struct FtlCacheBackend {
+    ftl: Ftl,
+    policy: CachePlacement,
+    slot_pages: u64,
+    payload: Vec<u8>,
+}
+
+impl FtlCacheBackend {
+    /// Wraps `ftl`, placing writes according to `policy`.
+    pub fn new(ftl: Ftl, policy: CachePlacement, slot_pages: u64) -> Self {
+        let payload = vec![0x5A; ftl.page_bytes()];
+        FtlCacheBackend {
+            ftl,
+            policy,
+            slot_pages,
+            payload,
+        }
+    }
+
+    /// The wrapped FTL (for stats readout).
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// Ends a simulated day: advances device time so retention decay
+    /// accrues. Deliberately does **not** scrub — cached objects are
+    /// degradable and are allowed to decay instead of being rewritten.
+    pub fn end_of_day(&mut self) {
+        self.ftl.advance_days(1.0);
+    }
+
+    fn lpn(&self, slot: u64, page: u64) -> u64 {
+        slot * self.slot_pages + page
+    }
+}
+
+impl CacheBackend for FtlCacheBackend {
+    fn put(&mut self, slot: u64, pages: u64, meta: ObjectMeta) -> Result<(), CacheBackendError> {
+        for page in 0..pages {
+            let lpn = self.lpn(slot, page);
+            let result = match self.policy {
+                CachePlacement::NoHints => self.ftl.write(lpn, &self.payload),
+                CachePlacement::LegacyStreams => {
+                    let stream = match meta.class {
+                        CacheClass::Metadata => STREAM_DEFAULT,
+                        CacheClass::Object => STREAM_COLD,
+                    };
+                    self.ftl.write_stream(lpn, &self.payload, stream)
+                }
+                CachePlacement::Fdp => {
+                    let tag = match meta.class {
+                        CacheClass::Metadata => DataTag::sys_hot(),
+                        CacheClass::Object => {
+                            let temp = match meta.temp {
+                                CacheTemp::Hot => Temperature::Hot,
+                                CacheTemp::Cold => Temperature::Cold,
+                            };
+                            DataTag::new(DataClass::Spare, temp).with_ttl(meta.ttl_days)
+                        }
+                    };
+                    self.ftl.write_tagged(lpn, &self.payload, tag)
+                }
+            };
+            result.map_err(map_cache_error)?;
+        }
+        Ok(())
+    }
+
+    fn get(&mut self, slot: u64, pages: u64) -> Result<CacheReadback, CacheBackendError> {
+        let mut decayed = false;
+        for page in 0..pages {
+            match self.ftl.read(self.lpn(slot, page)) {
+                Ok(result) => {
+                    if result.status == PageStatus::DegradedDetected {
+                        decayed = true;
+                    }
+                }
+                Err(FtlError::DataLost(_)) | Err(FtlError::NotWritten(_)) => {
+                    return Ok(CacheReadback::Gone);
+                }
+                Err(other) => return Err(map_cache_error(other)),
+            }
+        }
+        if decayed {
+            Ok(CacheReadback::Decayed)
+        } else {
+            Ok(CacheReadback::Fresh)
+        }
+    }
+
+    fn evict(&mut self, slot: u64, pages: u64) -> Result<(), CacheBackendError> {
+        for page in 0..pages {
+            match self.ftl.trim(self.lpn(slot, page)) {
+                Ok(()) | Err(FtlError::NotWritten(_)) => {}
+                Err(other) => return Err(map_cache_error(other)),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Options for [`flash_cache_report`] (experiment E17).
+#[derive(Debug, Clone)]
+pub struct FlashCacheOptions {
+    /// Simulated days of cache traffic.
+    pub days: u32,
+    /// Workload RNG seed (identical across arms, so every policy sees
+    /// byte-identical traffic).
+    pub base_seed: u64,
+    /// Fraction of the FTL's logical space the cache occupies. High
+    /// utilization is what makes placement matter: the tighter the
+    /// device, the more GC has to relocate mixed-up data.
+    pub utilization: f64,
+    /// GET operations per day; 0 uses the cache-server default rate.
+    pub gets_per_day: u64,
+}
+
+impl Default for FlashCacheOptions {
+    fn default() -> Self {
+        FlashCacheOptions {
+            days: 12,
+            base_seed: 5,
+            utilization: 0.88,
+            gets_per_day: 0,
+        }
+    }
+}
+
+/// One placement arm's outcome.
+struct CacheArmOutcome {
+    policy: CachePlacement,
+    traffic: CacheDayReport,
+    stats: sos_ftl::FtlStats,
+    placement: PlacementStats,
+    mean_pec: f64,
+    perf: PerfCounters,
+}
+
+fn run_cache_arm(policy: CachePlacement, options: &FlashCacheOptions) -> CacheArmOutcome {
+    let mode = ProgramMode::native(CellDensity::Tlc);
+    let ftl = Ftl::new(
+        &DeviceConfig::tiny(CellDensity::Tlc),
+        FtlConfig::conventional(mode),
+    );
+    let mut config = cache_config(&ftl, options);
+    if options.gets_per_day > 0 {
+        config.gets_per_day = options.gets_per_day;
+    }
+    let slot_pages = config.object_pages;
+    let mut cache = FlashCache::new(config);
+    let mut backend = FtlCacheBackend::new(ftl, policy, slot_pages);
+    let mut traffic = CacheDayReport::default();
+    for day in 0..options.days {
+        match cache.run_day(&mut backend) {
+            Ok(report) => traffic.absorb(&report),
+            Err(error) => panic!("cache arm {} failed on day {day}: {error}", policy.label()),
+        }
+        backend.end_of_day();
+    }
+    let ftl = backend.ftl();
+    let mut perf = PerfCounters::default();
+    let device_stats = ftl.device().stats();
+    perf.rber_cache_hits = device_stats.rber_cache_hits;
+    perf.rber_cache_misses = device_stats.rber_cache_misses;
+    perf.pages_read = device_stats.reads;
+    perf.pages_programmed = device_stats.programs;
+    perf.absorb_placement(&ftl.placement_stats());
+    CacheArmOutcome {
+        policy,
+        traffic,
+        stats: *ftl.stats(),
+        placement: ftl.placement_stats(),
+        mean_pec: ftl.wear_summary().mean_pec,
+        perf,
+    }
+}
+
+/// Sizes the cache to `utilization` of the FTL's exported space: object
+/// slots plus one metadata slot, at the server config's 2 pages/object.
+fn cache_config(ftl: &Ftl, options: &FlashCacheOptions) -> FlashCacheConfig {
+    let template = FlashCacheConfig::server(1, options.base_seed);
+    let usable = (ftl.logical_pages() as f64 * options.utilization) as u64;
+    let slots = (usable / template.object_pages).saturating_sub(1).max(4);
+    FlashCacheConfig::server(slots as usize, options.base_seed)
+}
+
+/// Runs E17: the same Zipf/TTL flash-cache traffic against three
+/// placement policies (no hints, legacy streams, FDP tags), one arm per
+/// parallel task. Reports write amplification, reclaim-unit telemetry,
+/// and what the write-amp delta buys in device lifetime and amortized
+/// embodied carbon. Fails (non-zero exit) if FDP placement does not
+/// beat the no-hint baseline on write-amp.
+pub fn flash_cache_report(options: &FlashCacheOptions, threads: usize) -> ExperimentOutput {
+    let (outcomes, runner) = run_tasks(&CachePlacement::ALL, threads, |_, &policy| {
+        run_cache_arm(policy, options)
+    });
+
+    let mut output = ExperimentOutput::default();
+    let days = options.days;
+    let _ = writeln!(
+        output.report,
+        "# E17 — datacenter flash cache: {days} day(s), utilization {:.0}%, seed {}\n",
+        options.utilization * 100.0,
+        options.base_seed
+    );
+    if let Some(first) = outcomes.first() {
+        let _ = writeln!(
+            output.report,
+            "traffic per arm: {} GETs, {} admissions, {} updates, {} evictions, {} TTL expiries, {:.1}% hit",
+            first.traffic.gets,
+            first.traffic.admitted,
+            first.traffic.updated,
+            first.traffic.evicted,
+            first.traffic.expired,
+            first.traffic.hit_ratio() * 100.0
+        );
+    }
+    let _ = writeln!(
+        output.report,
+        "\n{:<16} {:>6} {:>10} {:>9} {:>8} {:>12} {:>11}",
+        "policy", "WA", "flash wr", "GC moves", "decayed", "pages/erase", "host-placed"
+    );
+    for outcome in &outcomes {
+        let _ = writeln!(
+            output.report,
+            "{:<16} {:>6.3} {:>10} {:>9} {:>8} {:>12.1} {:>10.1}%",
+            outcome.policy.label(),
+            outcome.stats.write_amplification(),
+            outcome.stats.flash_writes,
+            outcome.stats.gc_page_moves,
+            outcome.traffic.decayed,
+            outcome.placement.pages_per_unit_erase(),
+            outcome.placement.host_fraction() * 100.0
+        );
+    }
+
+    // What the write-amp delta buys: device lifetime scales inversely
+    // with wear rate, and embodied carbon amortizes over that lifetime.
+    let embodied = EmbodiedModel::default();
+    let kg_per_gb = embodied.kg_per_gb_at_reference(ProgramMode::native(CellDensity::Tlc));
+    let endurance = CellDensity::Tlc.rated_endurance() as f64;
+    let _ = writeln!(
+        output.report,
+        "\n## Device lifetime and embodied-carbon amortization\n\
+         {:<16} {:>9} {:>10} {:>15}",
+        "policy", "mean PEC", "life (yr)", "kgCO2e/GB-year"
+    );
+    let mut lifetimes: Vec<f64> = Vec::new();
+    for outcome in &outcomes {
+        let pec_per_year = (outcome.mean_pec / days.max(1) as f64) * 365.25;
+        let life_years = if pec_per_year > 0.0 {
+            endurance / pec_per_year
+        } else {
+            f64::INFINITY
+        };
+        lifetimes.push(life_years);
+        let _ = writeln!(
+            output.report,
+            "{:<16} {:>9.1} {:>10.2} {:>15.4}",
+            outcome.policy.label(),
+            outcome.mean_pec,
+            life_years,
+            kg_per_gb / life_years
+        );
+    }
+    if let (Some(baseline), Some(fdp)) = (outcomes.first(), outcomes.last()) {
+        let wa_base = baseline.stats.write_amplification();
+        let wa_fdp = fdp.stats.write_amplification();
+        let life_gain = match (lifetimes.first(), lifetimes.last()) {
+            (Some(&base), Some(&with_fdp)) if base > 0.0 => with_fdp / base,
+            _ => 1.0,
+        };
+        let _ = writeln!(
+            output.report,
+            "\nFDP vs no hints: write-amp {:+.1}%, lifetime x{:.2}, embodied carbon/GB-year {:+.1}%",
+            (wa_fdp / wa_base - 1.0) * 100.0,
+            life_gain,
+            (1.0 / life_gain - 1.0) * 100.0
+        );
+        if wa_fdp >= wa_base {
+            output
+                .report
+                .push_str("VIOLATION: FDP placement did not reduce write amplification.\n");
+            output.failed = true;
+        } else {
+            output.report.push_str(
+                "placement pays: segregating TTL'd objects by temperature lets GC reclaim\n\
+                 whole units instead of relocating live pages, and the avoided wear defers\n\
+                 device replacement — embodied carbon amortizes over more GB-years (§5).\n",
+            );
+        }
+    }
+    let mut perf_total = PerfCounters::default();
+    for outcome in &outcomes {
+        perf_total.absorb(&outcome.perf);
+    }
+    let _ = writeln!(output.report, "perf: {}", perf_total.counter_summary());
+    output.diagnostics = runner_diagnostics("E17", &runner, &perf_total);
+    output
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,6 +1041,26 @@ mod tests {
         assert!(serial.report.contains("Replica variance"));
         assert!(serial.report.contains("rber-cache"));
         assert!(!serial.failed);
+    }
+
+    #[test]
+    fn flash_cache_tiny_run_is_thread_invariant_and_fdp_wins() {
+        let options = FlashCacheOptions {
+            days: 4,
+            base_seed: 5,
+            utilization: 0.88,
+            gets_per_day: 1200,
+        };
+        let serial = flash_cache_report(&options, 1);
+        let parallel = flash_cache_report(&options, 4);
+        assert_eq!(serial.report, parallel.report);
+        assert!(
+            !serial.failed,
+            "FDP must beat the no-hint baseline:\n{}",
+            serial.report
+        );
+        assert!(serial.report.contains("reclaim units"));
+        assert!(serial.report.contains("FDP vs no hints"));
     }
 
     #[test]

@@ -12,7 +12,8 @@ pub mod perf;
 pub mod runner;
 
 pub use experiments::{
-    capacity_variance_report, crash_sweep_report, end_to_end_report, wl_ablation_report,
-    CrashSweepOptions, EndToEndOptions, ExperimentOutput,
+    capacity_variance_report, crash_sweep_report, end_to_end_report, flash_cache_report,
+    wl_ablation_report, CachePlacement, CrashSweepOptions, EndToEndOptions, ExperimentOutput,
+    FlashCacheOptions, FtlCacheBackend,
 };
 pub use runner::{run_tasks, task_seed, thread_count, RunnerReport};

@@ -1,15 +1,16 @@
 //! The `perf_suite` micro-benchmark kernels and their JSON baseline
 //! format (`BENCH_0005.json`).
 //!
-//! Five canonical kernels time the simulator's hot paths:
+//! Six canonical kernels time the simulator's hot paths:
 //!
-//! | kernel           | what it times                                  |
-//! |------------------|------------------------------------------------|
-//! | `read_hot`       | the device read loop (RBER memo fast path)     |
-//! | `write_path`     | FTL host writes (ECC encode + program)         |
-//! | `gc_churn`       | overwrite pressure driving garbage collection  |
-//! | `recovery_scan`  | crash recovery's OOB scan + table rebuild      |
-//! | `end_to_end_day` | one simulated SOS device day (full stack)      |
+//! | kernel            | what it times                                  |
+//! |-------------------|------------------------------------------------|
+//! | `read_hot`        | the device read loop (RBER memo fast path)     |
+//! | `write_path`      | FTL host writes (ECC encode + program)         |
+//! | `gc_churn`        | overwrite pressure driving garbage collection  |
+//! | `recovery_scan`   | crash recovery's OOB scan + table rebuild      |
+//! | `end_to_end_day`  | one simulated SOS device day (full stack)      |
+//! | `flash_cache_day` | one flash-cache day under FDP placement        |
 //!
 //! Every value is a **throughput** (higher is better), so the
 //! regression gate is a single ratio test: a kernel regresses when
@@ -209,6 +210,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
             gc_churn(quick),
             recovery_scan(quick),
             end_to_end_day(quick),
+            flash_cache_day(quick),
         ],
     }
 }
@@ -369,6 +371,42 @@ fn end_to_end_day(quick: bool) -> BenchEntry {
         name: "end_to_end_day".into(),
         value: days as f64 / elapsed,
         unit: "sim-days/s".into(),
+        seed,
+        threads: 1,
+    }
+}
+
+/// One flash-cache day: Zipf GETs with admission/eviction/updates over
+/// a real FTL placing writes through typed [`sos_ftl::DataTag`]s — the
+/// placement write path plus GC under cache churn.
+fn flash_cache_day(quick: bool) -> BenchEntry {
+    use crate::experiments::{CachePlacement, FtlCacheBackend};
+    use sos_workload::{FlashCache, FlashCacheConfig};
+
+    let seed = task_seed(BASE_SEED, 5);
+    let days: u32 = if quick { 2 } else { 10 };
+    let ftl = Ftl::new(
+        &DeviceConfig::tiny(CellDensity::Tlc).with_seed(seed),
+        FtlConfig::conventional(ProgramMode::native(CellDensity::Tlc)),
+    );
+    let template = FlashCacheConfig::server(1, seed);
+    let usable = (ftl.logical_pages() as f64 * 0.88) as u64;
+    let slots = (usable / template.object_pages).saturating_sub(1).max(4);
+    let config = FlashCacheConfig::server(slots as usize, seed);
+    let gets_per_day = config.gets_per_day;
+    let slot_pages = config.object_pages;
+    let mut cache = FlashCache::new(config);
+    let mut backend = FtlCacheBackend::new(ftl, CachePlacement::Fdp, slot_pages);
+    let started = Instant::now();
+    for _ in 0..days {
+        cache.run_day(&mut backend).expect("cache day");
+        backend.end_of_day();
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    BenchEntry {
+        name: "flash_cache_day".into(),
+        value: (days as u64 * gets_per_day) as f64 / elapsed,
+        unit: "gets/s".into(),
         seed,
         threads: 1,
     }
@@ -687,13 +725,14 @@ mod tests {
     fn quick_suite_produces_all_kernels() {
         let report = run_suite(true);
         assert!(report.quick);
-        assert_eq!(report.entries.len(), 5);
+        assert_eq!(report.entries.len(), 6);
         for name in [
             "read_hot",
             "write_path",
             "gc_churn",
             "recovery_scan",
             "end_to_end_day",
+            "flash_cache_day",
         ] {
             let entry = report.entry(name).expect(name);
             assert!(entry.value > 0.0, "{name} produced no throughput");
@@ -701,6 +740,6 @@ mod tests {
         }
         // And it round-trips through the baseline format.
         let parsed = BenchReport::from_json(&report.to_json()).expect("parse");
-        assert_eq!(parsed.entries.len(), 5);
+        assert_eq!(parsed.entries.len(), 6);
     }
 }

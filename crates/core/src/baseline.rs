@@ -9,7 +9,7 @@ use crate::object::{
 };
 use crate::partition::PartitionStore;
 use sos_flash::{CellDensity, DeviceConfig, ProgramMode};
-use sos_ftl::{Ftl, FtlConfig, FtlError};
+use sos_ftl::{DataTag, Ftl, FtlConfig, FtlError};
 use std::collections::HashMap;
 
 /// Location record for one stored object.
@@ -35,7 +35,7 @@ impl BaselineDevice {
         base.physical_density = density;
         let ftl = Ftl::new(&base, FtlConfig::conventional(ProgramMode::native(density)));
         BaselineDevice {
-            store: PartitionStore::new(ftl, 0),
+            store: PartitionStore::new(ftl, DataTag::sys_hot()),
             objects: HashMap::new(),
             counters: DeviceCounters::default(),
             pressure: false,

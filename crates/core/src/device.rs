@@ -13,7 +13,7 @@ use crate::partition::PartitionStore;
 use crate::stripe::StripeManager;
 use serde::{Deserialize, Serialize};
 use sos_flash::{CellDensity, DeviceConfig, FaultPlan, FlashError, Geometry};
-use sos_ftl::{Ftl, FtlConfig, FtlError, RecoveryReport};
+use sos_ftl::{DataTag, Ftl, FtlConfig, FtlError, RecoveryReport};
 use std::collections::{BTreeSet, HashMap};
 
 /// SOS device configuration.
@@ -136,11 +136,11 @@ impl SosDevice {
         let (data_pages, _parity) =
             StripeManager::layout(sys_ftl.logical_pages(), config.stripe_width);
         let stripes = StripeManager::new(config.stripe_width, data_pages);
-        let mut sys = PartitionStore::new(sys_ftl, 0);
+        let mut sys = PartitionStore::new(sys_ftl, DataTag::sys_hot());
         sys.pool.shrink_budget(data_pages);
         // Re-derive the pool so only data LPNs are handed out.
         sys.pool = crate::partition::LpnPool::new(data_pages);
-        let spare = PartitionStore::new(spare_ftl, 0);
+        let spare = PartitionStore::new(spare_ftl, DataTag::spare_hot());
         SosDevice {
             sys,
             spare,
@@ -272,7 +272,9 @@ impl SosDevice {
                 }
                 // Write the repaired page back so the mapping is live
                 // again.
-                self.sys.ftl.write_stream(lost_lpn, &rebuilt, 0)?;
+                self.sys
+                    .ftl
+                    .write_tagged(lost_lpn, &rebuilt, self.sys.data_tag)?;
                 self.stripes
                     .on_write(&mut self.sys.ftl, lost_lpn, &rebuilt)?;
                 repaired += 1;
@@ -413,7 +415,7 @@ impl SosDevice {
                         if let Some(rebuilt) = self.stripes.reconstruct(&mut self.sys.ftl, lpn) {
                             self.sys
                                 .ftl
-                                .write_stream(lpn, &rebuilt, self.sys.data_stream)?;
+                                .write_tagged(lpn, &rebuilt, self.sys.data_tag)?;
                             report.sys_repaired += 1;
                         } else {
                             // Beyond parity's reach: declare the loss so

@@ -1,11 +1,12 @@
 //! `PageStore` adapter: mount the host filesystem on an FTL.
 //!
 //! Connects `sos-hostfs` (which only knows the [`PageStore`] trait) to a
-//! real simulated FTL, forwarding the per-file placement hints as FTL
-//! streams (§4.3's multi-stream interface).
+//! real simulated FTL, mapping the per-file placement hints onto FDP
+//! placement handles (§4.3's multi-stream interface, now
+//! [`sos_ftl::placement`]).
 
 use sos_flash::FlashError;
-use sos_ftl::{Ftl, FtlError};
+use sos_ftl::{Ftl, FtlError, PlacementHandle};
 use sos_hostfs::{PageStore, PlacementHint, StoreError};
 
 /// An FTL exposed as a host-filesystem page store.
@@ -52,10 +53,9 @@ impl PageStore for FtlPageStore {
         data: &[u8],
         hint: PlacementHint,
     ) -> Result<(), StoreError> {
-        // Stream 255 is reserved inside the FTL.
-        let stream = if hint == 255 { 254 } else { hint };
+        // The reserved GC stream is remapped rather than rejected.
         self.ftl
-            .write_stream(page, data, stream)
+            .write_placed(page, data, PlacementHandle::from_host_hint(hint))
             .map(|_| ())
             .map_err(map_error)
     }

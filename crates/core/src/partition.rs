@@ -7,7 +7,7 @@
 //! its own ECC scheme, wear policy and scrubbing rules.
 
 use crate::object::{merge_status, ObjectStatus};
-use sos_ftl::{Ftl, FtlError, FtlEvent, StreamId};
+use sos_ftl::{DataTag, Ftl, FtlError, FtlEvent};
 
 /// Virtual page allocator over an FTL's logical space.
 ///
@@ -100,18 +100,19 @@ pub struct PartitionStore {
     pub ftl: Ftl,
     /// Virtual page pool.
     pub pool: LpnPool,
-    /// Stream used for data writes.
-    pub data_stream: StreamId,
+    /// Data tag applied to object writes (derives the placement
+    /// handle, and with it the reclaim unit, for this partition's data).
+    pub data_tag: DataTag,
 }
 
 impl PartitionStore {
     /// Wraps an FTL.
-    pub fn new(ftl: Ftl, data_stream: StreamId) -> Self {
+    pub fn new(ftl: Ftl, data_tag: DataTag) -> Self {
         let pages = ftl.logical_pages();
         PartitionStore {
             ftl,
             pool: LpnPool::new(pages),
-            data_stream,
+            data_tag,
         }
     }
 
@@ -141,7 +142,7 @@ impl PartitionStore {
             if start < bytes.len() {
                 buffer[..end - start].copy_from_slice(&bytes[start..end]);
             }
-            match self.ftl.write_stream(lpn, &buffer, self.data_stream) {
+            match self.ftl.write_tagged(lpn, &buffer, self.data_tag) {
                 Ok(_) => {}
                 Err(FtlError::NoSpace) => {
                     // Roll back what we wrote; physical space exhausted
@@ -237,7 +238,7 @@ mod tests {
             &DeviceConfig::tiny(CellDensity::Tlc),
             FtlConfig::conventional(ProgramMode::native(CellDensity::Tlc)),
         );
-        PartitionStore::new(ftl, 0)
+        PartitionStore::new(ftl, DataTag::sys_hot())
     }
 
     #[test]

@@ -209,6 +209,7 @@ pub fn run_design(kind: DesignKind, config: &SimConfig) -> SimResult {
             let (device, stats, latency, final_psnr, worst) = run_with(device, config, false);
             let mut perf = PerfCounters::default();
             absorb_flash_stats(&mut perf, &device.partition().ftl.device().stats());
+            perf.absorb_placement(&device.partition().ftl.placement_stats());
             perf.wall_seconds = started.elapsed().as_secs_f64();
             SimResult {
                 design: kind.name().to_string(),
@@ -240,6 +241,8 @@ pub fn run_design(kind: DesignKind, config: &SimConfig) -> SimResult {
                 &mut perf,
                 &device.partition(Partition::Spare).ftl.device().stats(),
             );
+            perf.absorb_placement(&device.partition(Partition::Sys).ftl.placement_stats());
+            perf.absorb_placement(&device.partition(Partition::Spare).ftl.placement_stats());
             perf.wall_seconds = started.elapsed().as_secs_f64();
             let (sys_bytes, spare_bytes) = device.partition_bytes();
             let total = (sys_bytes + spare_bytes).max(1);

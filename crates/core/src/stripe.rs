@@ -5,12 +5,13 @@
 //! keeps a RAID-5-style XOR parity page per stripe of `width` data LPNs,
 //! so a page the BCH cannot recover is rebuilt from its stripe peers.
 
-use sos_ftl::{Ftl, FtlError, StreamId};
+use sos_ftl::{Ftl, FtlError, PlacementHandle};
 use std::collections::HashMap;
 
-/// Stream used for parity pages (kept apart from data blocks: parity is
-/// rewritten far more often).
-pub const STREAM_PARITY: StreamId = 1;
+// Parity pages use the dedicated parity handle (kept apart from data
+// reclaim units: parity is rewritten far more often); the constant
+// lives with the rest of the placement surface in `sos_ftl::placement`.
+pub use sos_ftl::placement::STREAM_PARITY;
 
 /// Stripe parity manager over a SYS-partition FTL.
 ///
@@ -91,7 +92,7 @@ impl StripeManager {
                     }
                 }
             }
-            ftl.write_stream(self.parity_lpn(stripe), &parity, STREAM_PARITY)?;
+            ftl.write_placed(self.parity_lpn(stripe), &parity, PlacementHandle::PARITY)?;
             refreshed += 1;
         }
         Ok(refreshed)
@@ -168,7 +169,7 @@ impl StripeManager {
                 }
             }
         }
-        ftl.write_stream(self.parity_lpn(stripe), &parity, STREAM_PARITY)?;
+        ftl.write_placed(self.parity_lpn(stripe), &parity, PlacementHandle::PARITY)?;
         Ok(())
     }
 
@@ -193,7 +194,7 @@ impl StripeManager {
                 }
             }
         }
-        ftl.write_stream(self.parity_lpn(stripe), &parity, STREAM_PARITY)?;
+        ftl.write_placed(self.parity_lpn(stripe), &parity, PlacementHandle::PARITY)?;
         Ok(())
     }
 

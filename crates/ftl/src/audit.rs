@@ -7,7 +7,8 @@
 //! taking one never mutates the FTL, and auditors operating on them can
 //! be fed deliberately corrupted copies in tests.
 
-use crate::ftl::{Ftl, Slot, StreamId};
+use crate::ftl::{Ftl, Slot};
+use crate::placement::{PlacementBackend, StreamId};
 use crate::stats::FtlStats;
 use sos_flash::{BlockSnapshot, ProgramMode};
 
@@ -126,7 +127,12 @@ impl Ftl {
                 })
                 .collect(),
             free: self.free.iter().copied().collect(),
-            open: self.open.iter().map(|(&s, &b)| (s, b)).collect(),
+            open: self
+                .placement
+                .open_units()
+                .iter()
+                .map(|unit| (unit.handle.stream(), unit.block))
+                .collect(),
             stats: self.stats,
             device: self.device.snapshot_blocks(),
         }

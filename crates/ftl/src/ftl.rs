@@ -1,23 +1,19 @@
 //! Core flash translation layer: logical-to-physical mapping, the write
-//! path with multi-stream placement, and the read path with ECC decode.
+//! path with FDP-style placement (see [`crate::placement`]), and the
+//! read path with ECC decode.
 
 use crate::config::FtlConfig;
+use crate::placement::{
+    DataTag, PlacementBackend, PlacementEvent, PlacementHandle, PlacementStats, ReclaimUnit,
+    StreamId, StreamPlacement,
+};
 use crate::recovery::CheckpointHandle;
 use crate::stats::FtlStats;
 use sos_ecc::{CodecError, PageCodec, PageStatus};
 use sos_flash::{
     DeviceConfig, FaultInjector, FaultPlan, FlashDevice, FlashError, OobMeta, PageAddr, ProgramMode,
 };
-use std::collections::{HashMap, VecDeque};
-
-/// Placement stream identifier (§4.3: multi-stream / zoned hints let the
-/// host separate data classes). Stream 255 is reserved for GC traffic.
-pub type StreamId = u8;
-
-/// Default stream for unhinted writes.
-pub const STREAM_DEFAULT: StreamId = 0;
-/// Internal stream used by garbage collection and refresh relocation.
-pub const STREAM_GC: StreamId = 255;
+use std::collections::VecDeque;
 
 /// Errors surfaced by FTL operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -174,7 +170,7 @@ pub struct Ftl {
     pub(crate) l2p: Vec<Slot>,
     pub(crate) blocks: Vec<BlockInfo>,
     pub(crate) free: VecDeque<u64>,
-    pub(crate) open: HashMap<StreamId, u64>,
+    pub(crate) placement: StreamPlacement,
     pub(crate) logical_pages: u64,
     pub(crate) last_reported_capacity: u64,
     pub(crate) stats: FtlStats,
@@ -240,7 +236,7 @@ impl Ftl {
             l2p: vec![Slot::Unmapped; logical_pages as usize],
             blocks,
             free: (0..total_blocks).collect(),
-            open: HashMap::new(),
+            placement: StreamPlacement::new(),
             logical_pages,
             last_reported_capacity: logical_pages,
             stats: FtlStats::default(),
@@ -356,21 +352,58 @@ impl Ftl {
         std::mem::take(&mut self.events)
     }
 
-    /// Writes one logical page on the default stream.
-    pub fn write(&mut self, lpn: u64, data: &[u8]) -> Result<f64, FtlError> {
-        self.write_stream(lpn, data, STREAM_DEFAULT)
+    /// Drains pending host-visible reclaim-unit events (unit opened /
+    /// filled / closed / erased).
+    pub fn drain_placement_events(&mut self) -> Vec<PlacementEvent> {
+        self.placement.drain_events()
     }
 
-    /// Writes one logical page with a placement stream hint.
+    /// Cumulative placement-mix counters (reclaim units opened, filled
+    /// and erased; host vs relocation pages appended).
+    pub fn placement_stats(&self) -> PlacementStats {
+        self.placement.stats()
+    }
+
+    /// The currently open reclaim units, ordered by wire stream id.
+    pub fn open_reclaim_units(&self) -> Vec<ReclaimUnit> {
+        self.placement.open_units()
+    }
+
+    /// Writes one logical page on the default placement handle.
+    pub fn write(&mut self, lpn: u64, data: &[u8]) -> Result<f64, FtlError> {
+        self.write_placed(lpn, data, PlacementHandle::DEFAULT)
+    }
+
+    /// Writes one logical page with a typed data tag; the tag derives
+    /// the placement handle ([`DataTag::handle`]).
+    pub fn write_tagged(&mut self, lpn: u64, data: &[u8], tag: DataTag) -> Result<f64, FtlError> {
+        self.write_placed(lpn, data, tag.handle())
+    }
+
+    /// Writes one logical page with a legacy placement stream hint.
     ///
-    /// Returns the device latency in µs.
+    /// Compat shim over [`Ftl::write_placed`]: the raw stream id wraps
+    /// into a [`PlacementHandle`] unchanged, so this path and the
+    /// handle path make bit-identical placement decisions.
     pub fn write_stream(
         &mut self,
         lpn: u64,
         data: &[u8],
         stream: StreamId,
     ) -> Result<f64, FtlError> {
-        if stream == STREAM_GC {
+        self.write_placed(lpn, data, PlacementHandle::from_stream(stream))
+    }
+
+    /// Writes one logical page into the reclaim unit open for `handle`.
+    ///
+    /// Returns the device latency in µs.
+    pub fn write_placed(
+        &mut self,
+        lpn: u64,
+        data: &[u8],
+        handle: PlacementHandle,
+    ) -> Result<f64, FtlError> {
+        if handle.is_reserved() {
             return Err(FtlError::ReservedStream);
         }
         self.check_lpn(lpn)?;
@@ -381,7 +414,7 @@ impl Ftl {
             });
         }
         self.ensure_free_space()?;
-        let latency = self.program_mapped(lpn, data, stream)?;
+        let latency = self.program_mapped(lpn, data, handle)?;
         self.stats.host_writes += 1;
         Ok(latency)
     }
@@ -523,16 +556,17 @@ impl Ftl {
         self.events.push(FtlEvent::DataLost { lpn, day });
     }
 
-    /// Encodes and programs `data` for `lpn` on `stream`, updating maps.
-    /// Used by both the host write path and GC/refresh relocation.
+    /// Encodes and programs `data` for `lpn` through `handle`'s reclaim
+    /// unit, updating maps. Used by both the host write path and
+    /// GC/refresh relocation.
     pub(crate) fn program_mapped(
         &mut self,
         lpn: u64,
         data: &[u8],
-        stream: StreamId,
+        handle: PlacementHandle,
     ) -> Result<f64, FtlError> {
         let raw = self.codec.encode(data)?;
-        self.program_raw(lpn, &raw, stream)
+        self.program_raw(lpn, &raw, handle)
     }
 
     /// Programs an already-encoded raw page for `lpn` (the GC/refresh
@@ -541,15 +575,15 @@ impl Ftl {
         &mut self,
         lpn: u64,
         raw: &[u8],
-        stream: StreamId,
+        handle: PlacementHandle,
     ) -> Result<f64, FtlError> {
         loop {
-            let (block, page) = self.alloc_page(stream)?;
+            let (block, page) = self.alloc_page(handle)?;
             let addr = self.page_addr(self.flat_page(block, page));
             // OOB metadata rides the same program pulse: LPN, a fresh
-            // monotonic sequence number, and the placement stream, so a
-            // post-crash scan can rebuild the L2P map latest-wins.
-            let oob = OobMeta::data(lpn, self.next_seq(), stream);
+            // monotonic sequence number, and the handle's wire stream,
+            // so a post-crash scan can rebuild the L2P map latest-wins.
+            let oob = OobMeta::data(lpn, self.next_seq(), handle.stream());
             match self.device.program_with_oob(addr, raw, Some(oob)) {
                 Ok(latency) => {
                     // Invalidate the previous location, if any.
@@ -569,6 +603,7 @@ impl Ftl {
                         *slot = Slot::Mapped(flat);
                     }
                     self.stats.flash_writes += 1;
+                    self.placement.note_append(handle);
                     return Ok(latency);
                 }
                 Err(FlashError::ProgramFailed(failed)) => {
@@ -589,23 +624,25 @@ impl Ftl {
         seq
     }
 
-    /// Allocates the next programmable page on the stream's open block,
-    /// pulling a free block when needed.
-    pub(crate) fn alloc_page(&mut self, stream: StreamId) -> Result<(u64, u32), FtlError> {
+    /// Allocates the next programmable page on the handle's open
+    /// reclaim unit, opening a fresh unit from the free pool when the
+    /// current one fills (which raises a host-visible
+    /// [`PlacementEvent::UnitFilled`]).
+    pub(crate) fn alloc_page(&mut self, handle: PlacementHandle) -> Result<(u64, u32), FtlError> {
         loop {
-            if let Some(&block) = self.open.get(&stream) {
+            if let Some(block) = self.placement.unit_for(handle) {
                 match self.device.next_free_page(block)? {
                     Some(page) => return Ok((block, page)),
                     None => {
                         if let Some(info) = self.blocks.get_mut(block as usize) {
                             info.full = true;
                         }
-                        self.open.remove(&stream);
+                        self.placement.close_unit(handle, true);
                     }
                 }
             }
             let block = self.free.pop_front().ok_or(FtlError::NoSpace)?;
-            self.open.insert(stream, block);
+            self.placement.open_unit(handle, block);
         }
     }
 
@@ -634,8 +671,8 @@ impl Ftl {
         info.full = false;
         self.stats.blocks_retired += 1;
         self.events.push(FtlEvent::BlockRetired { block, day });
-        // Remove from open streams and the free list if present.
-        self.open.retain(|_, &mut b| b != block);
+        // Remove from open reclaim units and the free list if present.
+        self.placement.evict_block(block);
         self.free.retain(|&b| b != block);
         self.report_capacity();
     }
@@ -667,6 +704,7 @@ pub(crate) fn usable_pages(pages_per_block: u32, mode: ProgramMode) -> u32 {
 mod tests {
     use super::*;
     use crate::config::FtlConfig;
+    use crate::placement::{DataClass, Temperature, STREAM_GC};
     use sos_flash::CellDensity;
 
     fn small_ftl() -> Ftl {
@@ -758,6 +796,44 @@ mod tests {
         };
         let ppb = ftl.device.geometry().pages_per_block as u64;
         assert_ne!(loc0 / ppb, loc1 / ppb, "streams must use separate blocks");
+    }
+
+    #[test]
+    fn tagged_writes_land_in_distinct_reclaim_units() {
+        let mut ftl = small_ftl();
+        let hot = DataTag::new(DataClass::Sys, Temperature::Hot);
+        let cold = DataTag::new(DataClass::Spare, Temperature::Cold).with_ttl(2);
+        ftl.write_tagged(0, &page_of(&ftl, 1), hot).unwrap();
+        ftl.write_tagged(1, &page_of(&ftl, 2), cold).unwrap();
+        let units = ftl.open_reclaim_units();
+        assert_eq!(units.len(), 2);
+        assert_ne!(units[0].block, units[1].block);
+        assert_eq!(units[0].handle, hot.handle());
+        assert_eq!(units[1].handle, cold.handle());
+        assert_eq!(units[0].written, 1);
+    }
+
+    #[test]
+    fn reclaim_unit_fill_is_host_visible() {
+        let mut ftl = small_ftl();
+        let usable = ftl.blocks[0].lpns.len() as u64;
+        for i in 0..=usable {
+            ftl.write(i, &page_of(&ftl, i as u8)).unwrap();
+        }
+        let events = ftl.drain_placement_events();
+        let handle = PlacementHandle::DEFAULT;
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, PlacementEvent::UnitOpened { handle: h, .. } if *h == handle)));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            PlacementEvent::UnitFilled { handle: h, written, .. }
+                if *h == handle && *written == usable
+        )));
+        let stats = ftl.placement_stats();
+        assert_eq!(stats.units_opened, 2);
+        assert_eq!(stats.units_filled, 1);
+        assert_eq!(stats.host_pages, usable + 1);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! threshold.
 
 use crate::config::GcPolicy;
-use crate::ftl::{Ftl, FtlError, Slot, STREAM_GC};
+use crate::ftl::{Ftl, FtlError, Slot};
+use crate::placement::{PlacementBackend, PlacementHandle};
 use sos_ecc::PageStatus;
 use sos_flash::FlashError;
 
@@ -109,7 +110,7 @@ impl Ftl {
                 // decode/re-encode round trip (as NAND copyback does,
                 // with the simulator's error count standing in for the
                 // controller's quick ECC check).
-                self.program_raw(lpn, &outcome.data, STREAM_GC)?;
+                self.program_raw(lpn, &outcome.data, PlacementHandle::GC)?;
                 moved += 1;
                 continue;
             }
@@ -123,7 +124,7 @@ impl Ftl {
             // Note: for approximate schemes a DegradedDetected page is
             // relocated with its residual errors — degradation accrues,
             // exactly as the paper intends for SPARE data.
-            self.program_mapped(lpn, &report.data, STREAM_GC)?;
+            self.program_mapped(lpn, &report.data, PlacementHandle::GC)?;
             moved += 1;
         }
         Ok(moved)
@@ -143,6 +144,7 @@ impl Ftl {
                     info.valid = 0;
                     info.full = false;
                 }
+                self.placement.note_erase(block);
                 self.free.push_back(block);
                 Ok(())
             }
@@ -183,7 +185,7 @@ impl Ftl {
         // block, so the young block it vacates rejoins the hot pool.
         // Without this the relocation is just churn and the spread keeps
         // growing.
-        if !self.open.contains_key(&STREAM_GC) {
+        if self.placement.unit_for(PlacementHandle::GC).is_none() {
             let mut worn_free: Option<(usize, u32)> = None;
             for (position, &block) in self.free.iter().enumerate() {
                 let pec = self.device.block_pec(block)?;
@@ -192,7 +194,7 @@ impl Ftl {
                 }
             }
             if let Some(block) = worn_free.and_then(|(position, _)| self.free.remove(position)) {
-                self.open.insert(STREAM_GC, block);
+                self.placement.open_unit(PlacementHandle::GC, block);
             }
         }
         let moved = self.relocate_valid(cold)?;

@@ -3,8 +3,9 @@
 //! The SSD-firmware substrate for the SOS reproduction of *"Degrading
 //! Data to Save the Planet"* (HotOS '23). It provides:
 //!
-//! * logical-to-physical page mapping with multi-stream placement hints
-//!   ([`ftl`]),
+//! * logical-to-physical page mapping with FDP-style data placement —
+//!   reclaim units, placement handles and typed data tags
+//!   ([`placement`]) — driven by the write path in [`ftl`],
 //! * garbage collection (greedy and cost-benefit) and optional static
 //!   wear leveling — disabled on the SOS SPARE partition per §4.3
 //!   ([`gc`]),
@@ -19,6 +20,7 @@ pub mod audit;
 pub mod config;
 pub mod ftl;
 pub mod gc;
+pub mod placement;
 pub mod recovery;
 pub mod scrub;
 pub mod stats;
@@ -26,8 +28,13 @@ pub mod zns;
 
 pub use audit::{BlockMapSnapshot, FtlState, SlotSnapshot};
 pub use config::{FtlConfig, GcPolicy, ResuscitationPolicy, ScrubConfig, WearLevelingConfig};
-pub use ftl::{Ftl, FtlError, FtlEvent, ReadResult, StreamId, STREAM_DEFAULT, STREAM_GC};
-pub use recovery::{RecoveryReport, STREAM_CKPT};
+pub use ftl::{Ftl, FtlError, FtlEvent, ReadResult};
+pub use placement::{
+    DataClass, DataTag, PlacementBackend, PlacementEvent, PlacementHandle, PlacementStats,
+    ReclaimUnit, StreamId, StreamPlacement, Temperature, STREAM_CKPT, STREAM_DEFAULT, STREAM_GC,
+    STREAM_PARITY,
+};
+pub use recovery::RecoveryReport;
 pub use scrub::ScrubReport;
 pub use stats::{FtlStats, WearSummary};
 pub use zns::{ZnsError, ZoneState, ZonedDevice};

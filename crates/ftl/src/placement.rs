@@ -1,0 +1,508 @@
+//! FDP-style placement: reclaim units, placement handles, and typed
+//! data tags (§4.3; NVMe Flexible Data Placement, arXiv:2503.11665).
+//!
+//! Historically the FTL's placement surface was a bag of magic
+//! `StreamId: u8` constants scattered across `ftl.rs`, `gc.rs` and
+//! `recovery.rs`. This module redesigns that surface the way FDP does:
+//!
+//! * a [`ReclaimUnit`] is the host-visible append unit (one erase block
+//!   in this simulator) a handle currently appends into;
+//! * a [`PlacementHandle`] names where a write should land — a typed
+//!   wrapper over the legacy stream id, which remains the on-flash wire
+//!   encoding so existing OOB metadata and checkpoints stay decodable;
+//! * a [`DataTag`] is what hosts actually know about their data — its
+//!   class, temperature and expected lifetime — and maps
+//!   deterministically onto a handle;
+//! * a [`PlacementBackend`] tracks open/close/append on reclaim units
+//!   and surfaces fill and erase events to the host
+//!   ([`PlacementEvent`]), plus the placement-mix counters behind the
+//!   per-reclaim-unit write-amp reporting.
+//!
+//! The legacy `StreamId` path ([`crate::Ftl::write_stream`]) is kept as
+//! a thin compat shim over [`crate::Ftl::write_placed`]: a raw stream
+//! id converts via [`PlacementHandle::from_stream`], so both paths make
+//! bit-identical placement decisions (pinned by
+//! `tests/proptest_placement.rs`).
+
+use std::collections::HashMap;
+
+/// Legacy placement stream identifier — the wire encoding of a
+/// [`PlacementHandle`] as stored in per-page OOB metadata. Kept as a
+/// compat shim so pre-redesign OOB metadata and checkpoints decode
+/// unchanged.
+pub type StreamId = u8;
+
+/// Default stream for unhinted writes (hot data).
+pub const STREAM_DEFAULT: StreamId = 0;
+/// Stream for stripe parity pages (`sos-core`'s SYS redundancy).
+pub const STREAM_PARITY: StreamId = 1;
+/// Stream for cold / TTL'd data ([`Temperature::Cold`] tags).
+pub const STREAM_COLD: StreamId = 2;
+/// Stream for spare-class (degradable) hot data.
+pub const STREAM_SPARE_HOT: StreamId = 3;
+/// Stream for spare-class (degradable) cold data.
+pub const STREAM_SPARE_COLD: StreamId = 4;
+/// Stream used by checkpoint pages (and the remap target for host
+/// hints that collide with the reserved GC stream).
+pub const STREAM_CKPT: StreamId = 254;
+/// Internal stream used by garbage collection and refresh relocation.
+pub const STREAM_GC: StreamId = 255;
+
+/// A placement handle: where a write should land. FDP's analogue of a
+/// stream id, but typed, so call sites name intent (`GC`, `CKPT`,
+/// `DEFAULT`) instead of magic numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlacementHandle(StreamId);
+
+impl PlacementHandle {
+    /// Handle for unhinted host writes (legacy stream 0).
+    pub const DEFAULT: PlacementHandle = PlacementHandle(STREAM_DEFAULT);
+    /// Handle for stripe parity pages (legacy stream 1).
+    pub const PARITY: PlacementHandle = PlacementHandle(STREAM_PARITY);
+    /// Handle for cold / TTL'd data (stream 2).
+    pub const COLD: PlacementHandle = PlacementHandle(STREAM_COLD);
+    /// Internal relocation handle for GC and refresh traffic.
+    pub const GC: PlacementHandle = PlacementHandle(STREAM_GC);
+    /// Internal handle for checkpoint pages.
+    pub const CKPT: PlacementHandle = PlacementHandle(STREAM_CKPT);
+
+    /// Wraps a raw legacy stream id (the compat shim entry point).
+    pub const fn from_stream(stream: StreamId) -> PlacementHandle {
+        PlacementHandle(stream)
+    }
+
+    /// Maps a host-supplied placement hint onto a handle. The reserved
+    /// GC stream is remapped to the adjacent internal stream rather
+    /// than rejected — hosts pick hints without knowing the reserved
+    /// values (pinned by `sos-core`'s `reserved_stream_hint_is_remapped`).
+    pub const fn from_host_hint(hint: StreamId) -> PlacementHandle {
+        if hint == STREAM_GC {
+            PlacementHandle(STREAM_CKPT)
+        } else {
+            PlacementHandle(hint)
+        }
+    }
+
+    /// The wire encoding written into per-page OOB metadata.
+    pub const fn stream(self) -> StreamId {
+        self.0
+    }
+
+    /// Whether this handle is reserved for FTL-internal traffic and
+    /// must be rejected on the host write path.
+    pub const fn is_reserved(self) -> bool {
+        self.0 == STREAM_GC
+    }
+}
+
+impl From<DataTag> for PlacementHandle {
+    fn from(tag: DataTag) -> PlacementHandle {
+        tag.handle()
+    }
+}
+
+/// Data class: which durability contract the data lives under (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataClass {
+    /// Significant data: must never be silently lost.
+    Sys,
+    /// Degradable data: may decay instead of being rewritten.
+    Spare,
+}
+
+/// Update temperature: how soon the data is expected to be overwritten
+/// or die. Separating temperatures into different reclaim units lets
+/// whole units invalidate together, which is the FDP write-amp lever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Temperature {
+    /// Frequently overwritten / short-lived.
+    Hot,
+    /// Rarely overwritten / long-lived.
+    Cold,
+}
+
+/// What the host knows about a write: class, temperature and an
+/// optional expected lifetime. This is the typed replacement for magic
+/// stream numbers; [`DataTag::handle`] derives the placement handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataTag {
+    /// Durability class (SYS vs SPARE).
+    pub class: DataClass,
+    /// Update temperature.
+    pub temp: Temperature,
+    /// Expected lifetime in days, if the host knows it (TTL'd cache
+    /// objects do). Advisory: short TTLs imply [`Temperature::Hot`]
+    /// grouping regardless of access rank.
+    pub ttl_hint: Option<u32>,
+}
+
+impl DataTag {
+    /// A tag with no TTL hint.
+    pub const fn new(class: DataClass, temp: Temperature) -> DataTag {
+        DataTag {
+            class,
+            temp,
+            ttl_hint: None,
+        }
+    }
+
+    /// Shorthand for hot SYS data (the legacy default placement).
+    pub const fn sys_hot() -> DataTag {
+        DataTag::new(DataClass::Sys, Temperature::Hot)
+    }
+
+    /// Shorthand for hot SPARE data.
+    pub const fn spare_hot() -> DataTag {
+        DataTag::new(DataClass::Spare, Temperature::Hot)
+    }
+
+    /// Attaches an expected lifetime in days.
+    pub const fn with_ttl(mut self, days: u32) -> DataTag {
+        self.ttl_hint = Some(days);
+        self
+    }
+
+    /// Derives the placement handle. The mapping is deterministic and
+    /// wire-compatible: hot SYS data lands on the legacy default stream
+    /// so devices written before the redesign decode unchanged, while
+    /// the other class/temperature combinations get their own reclaim
+    /// units. The TTL hint never changes the handle (it is advisory for
+    /// hosts deciding a temperature); only `class` and `temp` do.
+    pub const fn handle(self) -> PlacementHandle {
+        let stream = match (self.class, self.temp) {
+            (DataClass::Sys, Temperature::Hot) => STREAM_DEFAULT,
+            (DataClass::Sys, Temperature::Cold) => STREAM_COLD,
+            (DataClass::Spare, Temperature::Hot) => STREAM_SPARE_HOT,
+            (DataClass::Spare, Temperature::Cold) => STREAM_SPARE_COLD,
+        };
+        PlacementHandle(stream)
+    }
+}
+
+/// The host-visible append unit a placement handle writes into: one
+/// erase block in this simulator (real FDP reclaim units span several
+/// blocks; one block keeps the unit boundary identical to the legacy
+/// open-block-per-stream allocator, which is what makes the compat shim
+/// bit-identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReclaimUnit {
+    /// Flat physical block index backing the unit.
+    pub block: u64,
+    /// The handle currently appending into it.
+    pub handle: PlacementHandle,
+    /// Pages appended while this unit has been open.
+    pub written: u64,
+}
+
+/// A host-visible reclaim-unit lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementEvent {
+    /// A fresh reclaim unit was opened for a handle.
+    UnitOpened {
+        /// The appending handle.
+        handle: PlacementHandle,
+        /// Backing block.
+        block: u64,
+    },
+    /// A reclaim unit filled up and was closed.
+    UnitFilled {
+        /// The handle that filled it.
+        handle: PlacementHandle,
+        /// Backing block.
+        block: u64,
+        /// Pages appended while open.
+        written: u64,
+    },
+    /// An open reclaim unit was closed early (block failure or
+    /// retirement) without filling.
+    UnitClosed {
+        /// The handle that was appending into it.
+        handle: PlacementHandle,
+        /// Backing block.
+        block: u64,
+    },
+    /// A reclaim unit was erased (GC reclaimed or refreshed it); its
+    /// block returned to the free pool.
+    UnitErased {
+        /// Backing block.
+        block: u64,
+    },
+}
+
+/// Placement-mix counters: what the device programmed, bucketed by who
+/// asked, plus reclaim-unit lifecycle totals. `pages_per_unit_erase`
+/// is the per-reclaim-unit write-amp figure the E11 and flash-cache
+/// summaries print.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementStats {
+    /// Reclaim units opened.
+    pub units_opened: u64,
+    /// Reclaim units that filled completely.
+    pub units_filled: u64,
+    /// Reclaim units erased (blocks reclaimed back to the free pool).
+    pub units_erased: u64,
+    /// Pages appended via host handles (data the host asked to write).
+    pub host_pages: u64,
+    /// Pages appended via the internal GC/refresh relocation handle.
+    pub reloc_pages: u64,
+}
+
+impl PlacementStats {
+    /// Pages programmed per reclaim-unit erase — the per-unit
+    /// write-amp: how much programming each erase cycle buys.
+    pub fn pages_per_unit_erase(&self) -> f64 {
+        let programmed = self.host_pages + self.reloc_pages;
+        if self.units_erased == 0 {
+            programmed as f64
+        } else {
+            programmed as f64 / self.units_erased as f64
+        }
+    }
+
+    /// Fraction of appended pages that were host-placed (the rest is
+    /// relocation traffic). 1.0 when nothing has been appended.
+    pub fn host_fraction(&self) -> f64 {
+        let programmed = self.host_pages + self.reloc_pages;
+        if programmed == 0 {
+            1.0
+        } else {
+            self.host_pages as f64 / programmed as f64
+        }
+    }
+}
+
+/// The placement surface the FTL write path drives: open, append to
+/// and close reclaim units per handle, and record unit erases. One
+/// handle appends into at most one open unit at a time (the FDP
+/// "placement handle references a reclaim unit" rule).
+pub trait PlacementBackend {
+    /// Binds a fresh (erased) block as the open reclaim unit for
+    /// `handle`, closing any previous unit for it first.
+    fn open_unit(&mut self, handle: PlacementHandle, block: u64);
+
+    /// The block backing the open reclaim unit for `handle`, if any.
+    fn unit_for(&self, handle: PlacementHandle) -> Option<u64>;
+
+    /// Records one page appended through `handle` into its open unit.
+    fn note_append(&mut self, handle: PlacementHandle);
+
+    /// Closes the open unit for `handle`. `filled` distinguishes a
+    /// unit that ran out of pages from one abandoned early.
+    fn close_unit(&mut self, handle: PlacementHandle, filled: bool) -> Option<ReclaimUnit>;
+
+    /// Closes whatever unit is backed by `block` (block failure or
+    /// retirement removes it from service regardless of handle).
+    fn evict_block(&mut self, block: u64);
+
+    /// Records that the unit backed by `block` was erased.
+    fn note_erase(&mut self, block: u64);
+
+    /// The currently open reclaim units, ordered by wire stream id.
+    fn open_units(&self) -> Vec<ReclaimUnit>;
+
+    /// Drains pending host-visible reclaim-unit events.
+    fn drain_events(&mut self) -> Vec<PlacementEvent>;
+
+    /// Cumulative placement-mix counters.
+    fn stats(&self) -> PlacementStats;
+}
+
+/// The default backend: the legacy open-block-per-stream allocator,
+/// re-expressed as reclaim units. Block selection stays exactly where
+/// it was (the FTL pops its free list); this tracks which unit each
+/// handle appends into and the lifecycle telemetry.
+#[derive(Debug, Default)]
+pub struct StreamPlacement {
+    units: HashMap<StreamId, ReclaimUnit>,
+    events: Vec<PlacementEvent>,
+    stats: PlacementStats,
+}
+
+impl StreamPlacement {
+    /// An empty backend with no open units.
+    pub fn new() -> StreamPlacement {
+        StreamPlacement::default()
+    }
+}
+
+impl PlacementBackend for StreamPlacement {
+    fn open_unit(&mut self, handle: PlacementHandle, block: u64) {
+        self.close_unit(handle, false);
+        self.units.insert(
+            handle.stream(),
+            ReclaimUnit {
+                block,
+                handle,
+                written: 0,
+            },
+        );
+        self.stats.units_opened += 1;
+        self.events
+            .push(PlacementEvent::UnitOpened { handle, block });
+    }
+
+    fn unit_for(&self, handle: PlacementHandle) -> Option<u64> {
+        self.units.get(&handle.stream()).map(|unit| unit.block)
+    }
+
+    fn note_append(&mut self, handle: PlacementHandle) {
+        if let Some(unit) = self.units.get_mut(&handle.stream()) {
+            unit.written += 1;
+        }
+        if handle == PlacementHandle::GC {
+            self.stats.reloc_pages += 1;
+        } else {
+            self.stats.host_pages += 1;
+        }
+    }
+
+    fn close_unit(&mut self, handle: PlacementHandle, filled: bool) -> Option<ReclaimUnit> {
+        let unit = self.units.remove(&handle.stream())?;
+        if filled {
+            self.stats.units_filled += 1;
+            self.events.push(PlacementEvent::UnitFilled {
+                handle: unit.handle,
+                block: unit.block,
+                written: unit.written,
+            });
+        } else {
+            self.events.push(PlacementEvent::UnitClosed {
+                handle: unit.handle,
+                block: unit.block,
+            });
+        }
+        Some(unit)
+    }
+
+    fn evict_block(&mut self, block: u64) {
+        let handles: Vec<PlacementHandle> = self
+            .units
+            .values()
+            .filter(|unit| unit.block == block)
+            .map(|unit| unit.handle)
+            .collect();
+        for handle in handles {
+            self.close_unit(handle, false);
+        }
+    }
+
+    fn note_erase(&mut self, block: u64) {
+        self.stats.units_erased += 1;
+        self.events.push(PlacementEvent::UnitErased { block });
+    }
+
+    fn open_units(&self) -> Vec<ReclaimUnit> {
+        let mut units: Vec<ReclaimUnit> = self.units.values().copied().collect();
+        units.sort_by_key(|unit| unit.handle.stream());
+        units
+    }
+
+    fn drain_events(&mut self) -> Vec<PlacementEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn stats(&self) -> PlacementStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_handles_are_wire_compatible_and_injective() {
+        assert_eq!(DataTag::sys_hot().handle().stream(), STREAM_DEFAULT);
+        let tags = [
+            DataTag::new(DataClass::Sys, Temperature::Hot),
+            DataTag::new(DataClass::Sys, Temperature::Cold),
+            DataTag::new(DataClass::Spare, Temperature::Hot),
+            DataTag::new(DataClass::Spare, Temperature::Cold),
+        ];
+        let mut streams: Vec<StreamId> = tags.iter().map(|tag| tag.handle().stream()).collect();
+        streams.sort_unstable();
+        streams.dedup();
+        assert_eq!(streams.len(), tags.len(), "tag → handle must be injective");
+        for stream in streams {
+            assert!(!PlacementHandle::from_stream(stream).is_reserved());
+        }
+    }
+
+    #[test]
+    fn ttl_does_not_change_the_handle() {
+        let tag = DataTag::spare_hot();
+        assert_eq!(tag.handle(), tag.with_ttl(3).handle());
+    }
+
+    #[test]
+    fn host_hint_remaps_reserved_stream() {
+        assert_eq!(
+            PlacementHandle::from_host_hint(STREAM_GC).stream(),
+            STREAM_CKPT
+        );
+        assert_eq!(PlacementHandle::from_host_hint(7).stream(), 7);
+    }
+
+    #[test]
+    fn unit_lifecycle_emits_events_and_counts() {
+        let mut backend = StreamPlacement::new();
+        let handle = PlacementHandle::DEFAULT;
+        backend.open_unit(handle, 3);
+        assert_eq!(backend.unit_for(handle), Some(3));
+        backend.note_append(handle);
+        backend.note_append(handle);
+        let unit = backend.close_unit(handle, true).expect("open unit");
+        assert_eq!(unit.written, 2);
+        backend.note_erase(3);
+        let events = backend.drain_events();
+        assert_eq!(
+            events,
+            vec![
+                PlacementEvent::UnitOpened { handle, block: 3 },
+                PlacementEvent::UnitFilled {
+                    handle,
+                    block: 3,
+                    written: 2
+                },
+                PlacementEvent::UnitErased { block: 3 },
+            ]
+        );
+        let stats = backend.stats();
+        assert_eq!(stats.units_opened, 1);
+        assert_eq!(stats.units_filled, 1);
+        assert_eq!(stats.units_erased, 1);
+        assert_eq!(stats.host_pages, 2);
+        assert_eq!(stats.reloc_pages, 0);
+        assert!((stats.pages_per_unit_erase() - 2.0).abs() < 1e-12);
+        assert!((stats.host_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evict_closes_without_fill() {
+        let mut backend = StreamPlacement::new();
+        backend.open_unit(PlacementHandle::GC, 9);
+        backend.note_append(PlacementHandle::GC);
+        backend.evict_block(9);
+        assert_eq!(backend.unit_for(PlacementHandle::GC), None);
+        let events = backend.drain_events();
+        assert!(events.contains(&PlacementEvent::UnitClosed {
+            handle: PlacementHandle::GC,
+            block: 9
+        }));
+        assert_eq!(backend.stats().reloc_pages, 1);
+    }
+
+    #[test]
+    fn reopening_a_handle_closes_the_previous_unit() {
+        let mut backend = StreamPlacement::new();
+        backend.open_unit(PlacementHandle::COLD, 1);
+        backend.open_unit(PlacementHandle::COLD, 2);
+        assert_eq!(backend.unit_for(PlacementHandle::COLD), Some(2));
+        assert_eq!(backend.open_units().len(), 1);
+        let events = backend.drain_events();
+        assert!(events.contains(&PlacementEvent::UnitClosed {
+            handle: PlacementHandle::COLD,
+            block: 1
+        }));
+    }
+}

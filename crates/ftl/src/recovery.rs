@@ -2,7 +2,7 @@
 //! on-flash checkpoint that bounds the rebuild scan.
 //!
 //! After a power cut the FTL's RAM state (L2P map, valid counts, free
-//! list, open streams) is gone; only the NAND array survives. Recovery
+//! list, open reclaim units) is gone; only the NAND array survives. Recovery
 //! rebuilds firmware state from per-page OOB metadata
 //! ([`sos_flash::OobMeta`]): every data program records its LPN, a
 //! monotonic sequence number and its placement stream, so a physical
@@ -39,15 +39,13 @@
 //!   them in OOB or a bad-block table); recovery re-adopts them as-is.
 
 use crate::config::FtlConfig;
-use crate::ftl::{usable_pages, BlockInfo, Ftl, FtlError, Slot, StreamId};
+use crate::ftl::{usable_pages, BlockInfo, Ftl, FtlError, Slot};
+use crate::placement::{StreamPlacement, STREAM_CKPT};
 use crate::stats::FtlStats;
 use sos_ecc::{PageCodec, PageStatus};
 use sos_flash::oob::crc32;
 use sos_flash::{DeviceConfig, FlashDevice, FlashError, OobMeta, PageKind};
-use std::collections::{HashMap, HashSet, VecDeque};
-
-/// Stream tag recorded in checkpoint pages' OOB.
-pub const STREAM_CKPT: StreamId = 254;
+use std::collections::{HashSet, VecDeque};
 
 /// A decoded checkpoint ready to apply: `(data_seq, l2p slots,
 /// per-block next-page pointers, blocks holding the checkpoint)`.
@@ -552,7 +550,7 @@ impl Ftl {
             l2p,
             blocks: blocks_info,
             free,
-            open: HashMap::new(),
+            placement: StreamPlacement::new(),
             logical_pages,
             last_reported_capacity: 0,
             stats,

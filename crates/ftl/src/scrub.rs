@@ -8,6 +8,7 @@
 //! density, e.g. pseudo-TLC".
 
 use crate::ftl::{usable_pages, Ftl, FtlError, FtlEvent};
+use crate::placement::PlacementBackend;
 use sos_flash::cell::CellState;
 use sos_flash::{CellDensity, ProgramMode};
 
@@ -189,7 +190,7 @@ impl Ftl {
             info.valid = 0;
         }
         self.free.retain(|&b| b != block);
-        self.open.retain(|_, &mut b| b != block);
+        self.placement.evict_block(block);
         self.stats.blocks_retired += 1;
         let day = self.device.now_days();
         self.events.push(FtlEvent::BlockRetired { block, day });

@@ -4,7 +4,10 @@
 //! through SSD-specific abstractions, such as multi-stream or zoned
 //! interfaces, where the host is responsible for placing data blocks in
 //! relevant streams/zones with different management policies". The
-//! multi-stream path lives in the FTL ([`crate::ftl::StreamId`]); this
+//! multi-stream path is the FDP-style placement API
+//! ([`crate::placement`]: reclaim units addressed through
+//! [`crate::placement::PlacementHandle`], with the legacy
+//! [`crate::placement::StreamId`] kept as a compat shim); this
 //! module is the zoned alternative: fixed zones of physical blocks,
 //! append-only write pointers, explicit resets — and, as the SOS twist,
 //! a per-zone *program mode* chosen at reset time, so the host can run

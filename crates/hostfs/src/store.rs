@@ -3,10 +3,22 @@
 //! `sos-hostfs` deliberately does not depend on the FTL crate: it talks
 //! to any [`PageStore`] — the SOS device, a plain FTL, or the in-memory
 //! store used in tests. The `hint` parameter carries the per-file
-//! placement class down to multi-stream/zoned devices (§4.3).
+//! placement class down to multi-stream/zoned/FDP devices (§4.3); on
+//! the simulated FTL it selects the reclaim unit the file's pages
+//! append into (`sos_ftl::placement` maps it onto a placement handle).
 
-/// Placement hint forwarded to the device (stream/zone id).
+/// Placement hint forwarded to the device: the wire form of a
+/// placement handle (legacy stream / zone id).
 pub type PlacementHint = u8;
+
+/// Hint for hot, significant data (the device's default reclaim unit).
+pub const HINT_DEFAULT: PlacementHint = 0;
+/// Hint for cold / rarely-rewritten significant data.
+pub const HINT_COLD: PlacementHint = 2;
+/// Hint for hot degradable (SPARE-class) data.
+pub const HINT_SPARE_HOT: PlacementHint = 3;
+/// Hint for cold / TTL'd degradable (SPARE-class) data.
+pub const HINT_SPARE_COLD: PlacementHint = 4;
 
 /// Errors a page store can raise.
 #[derive(Debug, Clone, PartialEq, Eq)]

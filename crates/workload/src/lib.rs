@@ -10,11 +10,15 @@
 //! * [`device_life`] — a day-by-day multi-year generator with usage
 //!   profiles from light use to the paper's worst-case "9 hours of Final
 //!   Fantasy daily",
-//! * [`trace`] — the operation records consumed by the storage stack.
+//! * [`trace`] — the operation records consumed by the storage stack,
+//! * [`flash_cache`] — a datacenter flash-cache scenario (Zipf GETs,
+//!   admission/eviction, TTL'd degradable objects) for the FDP
+//!   placement experiments.
 
 pub mod apps;
 pub mod device_life;
 pub mod filetypes;
+pub mod flash_cache;
 pub mod trace;
 pub mod zipf;
 
@@ -23,3 +27,8 @@ pub use device_life::{DeviceLife, UsageProfile, WorkloadConfig};
 pub use filetypes::{byte_share, FileClass, FileMeta};
 pub use trace::{DayTrace, TraceOp};
 pub use zipf::Zipf;
+
+pub use flash_cache::{
+    CacheBackend, CacheBackendError, CacheClass, CacheDayReport, CacheReadback, CacheTemp,
+    FlashCache, FlashCacheConfig, MemCacheBackend, ObjectMeta,
+};
