@@ -124,9 +124,9 @@ impl StateAuditor<FtlState> for EraseDisciplineAuditor {
                     usable: snapshot.usable_pages,
                 });
             }
-            let programmed: HashSet<u32> = snapshot.programmed.iter().copied().collect();
+            let programmed_pages: HashSet<u32> = snapshot.programmed.iter().copied().collect();
             for page in 0..snapshot.next_page {
-                if !programmed.contains(&page) {
+                if !programmed_pages.contains(&page) {
                     violations.push(Violation::ProgrammedPrefixHole {
                         block: snapshot.block,
                         page,

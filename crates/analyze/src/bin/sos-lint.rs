@@ -1,38 +1,57 @@
 //! Repo-specific lint runner: `cargo run -p sos-analyze --bin sos-lint`.
 //!
-//! Runs the token-stream lint rules **and** the panic-freedom pass over
-//! the workspace sources (see [`sos_analyze::lint`] and
-//! [`sos_analyze::panicpath`]) and exits non-zero when any finding
-//! survives — or when a configured recovery entry point no longer
-//! resolves (a rename hazard) — so CI and `scripts/check.sh` can gate
-//! on it.
+//! Runs the token-stream lint rules, the panic-freedom pass, **and**
+//! the determinism pass over the workspace sources (see
+//! [`sos_analyze::lint`], [`sos_analyze::panicpath`], and
+//! [`sos_analyze::determinism`]) and exits non-zero when any finding
+//! survives — or when a configured entry point no longer resolves (a
+//! rename hazard) — so CI and `scripts/check.sh` can gate on it.
 //!
 //! Usage:
 //!
 //! ```text
-//! sos-lint [ROOT] [--format text|json]
+//! sos-lint [ROOT] [--format text|json] [--only lint|panic-path|determinism]
 //! ```
 //!
 //! `--format json` prints the machine-readable report
 //! ([`sos_analyze::report::JsonReport`]) on stdout; the exit code
-//! still reflects the gate.
+//! still reflects the gate. `--only` restricts the run to one pass —
+//! CI uses `--only determinism` to publish the determinism report as
+//! its own artifact.
 
+use sos_analyze::determinism::NONDETERMINISM_RULE;
 use sos_analyze::panicpath::PANIC_PATH_RULE;
 use sos_analyze::{
-    harness_entry_points, recovery_entry_points, run_lints_on, run_panic_path, JsonReport,
-    ReportFinding, ReportSummary, Workspace,
+    deterministic_entry_points, harness_entry_points, recovery_entry_points, run_determinism,
+    run_lints_on, run_panic_path, DeterminismReport, JsonReport, PanicPathReport, ReportFinding,
+    ReportSummary, Workspace,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Pass {
+    Lint,
+    PanicPath,
+    Determinism,
+}
+
 struct Options {
     root: PathBuf,
     json: bool,
+    only: Option<Pass>,
+}
+
+impl Options {
+    fn runs(&self, pass: Pass) -> bool {
+        self.only.is_none() || self.only == Some(pass)
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut only = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,7 +60,20 @@ fn parse_args() -> Result<Options, String> {
                 Some("text") => json = false,
                 other => return Err(format!("--format expects text|json, got {other:?}")),
             },
-            "--help" | "-h" => return Err("usage: sos-lint [ROOT] [--format text|json]".into()),
+            "--only" => match args.next().as_deref() {
+                Some("lint") => only = Some(Pass::Lint),
+                Some("panic-path") => only = Some(Pass::PanicPath),
+                Some("determinism") => only = Some(Pass::Determinism),
+                other => {
+                    return Err(format!(
+                        "--only expects lint|panic-path|determinism, got {other:?}"
+                    ))
+                }
+            },
+            "--help" | "-h" => return Err(
+                "usage: sos-lint [ROOT] [--format text|json] [--only lint|panic-path|determinism]"
+                    .into(),
+            ),
             _ if root.is_none() => root = Some(PathBuf::from(arg)),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -49,6 +81,7 @@ fn parse_args() -> Result<Options, String> {
     Ok(Options {
         root: root.unwrap_or_else(default_root),
         json,
+        only,
     })
 }
 
@@ -71,10 +104,23 @@ fn main() -> ExitCode {
         }
     };
     let workspace = Workspace::load(&options.root);
-    let lint = run_lints_on(&workspace);
-    let mut entry_points = recovery_entry_points();
-    entry_points.extend(harness_entry_points());
-    let panic_path = run_panic_path(&workspace, &entry_points);
+    let lint = if options.runs(Pass::Lint) {
+        run_lints_on(&workspace)
+    } else {
+        Default::default()
+    };
+    let panic_path = if options.runs(Pass::PanicPath) {
+        let mut entry_points = recovery_entry_points();
+        entry_points.extend(harness_entry_points());
+        run_panic_path(&workspace, &entry_points)
+    } else {
+        PanicPathReport::default()
+    };
+    let determinism = if options.runs(Pass::Determinism) {
+        run_determinism(&workspace, &deterministic_entry_points())
+    } else {
+        DeterminismReport::default()
+    };
 
     let mut findings: Vec<ReportFinding> = lint
         .findings
@@ -94,16 +140,34 @@ fn main() -> ExitCode {
         message: f.message.clone(),
         chain: f.chain.clone(),
     }));
+    findings.extend(determinism.findings.iter().map(|f| ReportFinding {
+        rule: format!("{NONDETERMINISM_RULE}/{}", f.source),
+        file: f.file.display().to_string(),
+        line: f.line,
+        message: f.message.clone(),
+        chain: f.chain.clone(),
+    }));
+
+    let mut entry_points = panic_path.entry_points.clone();
+    entry_points.extend(determinism.entry_points.iter().cloned());
+    entry_points.sort();
+    entry_points.dedup();
+    let mut missing_entry_points = panic_path.missing_entry_points.clone();
+    missing_entry_points.extend(determinism.missing_entry_points.iter().cloned());
+    missing_entry_points.sort();
+    missing_entry_points.dedup();
 
     let report = JsonReport {
         version: sos_analyze::report::REPORT_VERSION,
         findings,
         summary: ReportSummary {
             reachable_fns: panic_path.reachable_fns,
-            unresolved_calls: panic_path.unresolved_calls,
-            suppressed: lint.suppressed + panic_path.suppressed,
-            entry_points: panic_path.entry_points.clone(),
-            missing_entry_points: panic_path.missing_entry_points.clone(),
+            determinism_reachable_fns: determinism.reachable_fns,
+            unresolved_calls: panic_path.unresolved_calls + determinism.unresolved_calls,
+            suppressed: lint.suppressed + panic_path.suppressed + determinism.suppressed,
+            allowlisted: determinism.allowlisted,
+            entry_points,
+            missing_entry_points,
         },
     };
 
@@ -117,16 +181,21 @@ fn main() -> ExitCode {
         for finding in &panic_path.findings {
             println!("{finding}");
         }
+        for finding in &determinism.findings {
+            println!("{finding}");
+        }
         for entry in &report.summary.missing_entry_points {
-            println!("panic-path: entry point `{entry}` matches no function (renamed?)");
+            println!("sos-lint: entry point `{entry}` matches no function (renamed?)");
         }
         if clean {
             println!(
-                "sos-lint: clean ({}) — {} fns reachable from {} entry points, {} suppression(s), {} unresolved call(s)",
+                "sos-lint: clean ({}) — {} panic-path fns / {} determinism fns reachable from {} entry points, {} suppression(s), {} allowlisted, {} unresolved call(s)",
                 options.root.display(),
                 report.summary.reachable_fns,
+                report.summary.determinism_reachable_fns,
                 report.summary.entry_points.len(),
                 report.summary.suppressed,
+                report.summary.allowlisted,
                 report.summary.unresolved_calls,
             );
         } else {

@@ -21,21 +21,26 @@
 //!   (rebuilt state must equal the pre-crash state minus the *declared*
 //!   crash window).
 //! * **Static analysis** ([`parse`], [`lint`], [`callgraph`],
-//!   [`panicpath`], `sos-lint` binary) — a spanned Rust lexer and item
-//!   extractor feed both the lint rules (no `.unwrap()`/`.expect()` in
-//!   non-test storage-stack code, no `f32` in carbon accounting,
-//!   documented public items in `sos-core`/`sos-ftl`, no
-//!   `std::thread::sleep`, no `todo!()`/`unimplemented!()`/`dbg!()`,
-//!   no lossy `as` casts in `sos-flash`/`sos-ftl`) and the
-//!   **panic-freedom pass**: a workspace call graph walked from the
-//!   recovery entry points (`Ftl::recover`, GC, scrub, remount),
-//!   flagging every reachable panicking construct with its call chain.
-//!   Residual risks are suppressed inline with a mandatory written
-//!   justification; `sos-lint --format json` emits the machine-readable
-//!   report ([`report`]).
+//!   [`panicpath`], [`determinism`], `sos-lint` binary) — a spanned
+//!   Rust lexer and item extractor feed the lint rules (no
+//!   `.unwrap()`/`.expect()` in non-test storage-stack code, no `f32`
+//!   in carbon accounting, documented public items in
+//!   `sos-core`/`sos-ftl`, no `std::thread::sleep`, no
+//!   `todo!()`/`unimplemented!()`/`dbg!()`, no lossy `as` casts in
+//!   `sos-flash`/`sos-ftl`), the **panic-freedom pass** (a workspace
+//!   call graph walked from the recovery entry points — `Ftl::recover`,
+//!   GC, scrub, remount — flagging every reachable panicking construct
+//!   with its call chain), and the **determinism pass** (the same graph
+//!   walked from the experiment/runner/perf entry points, flagging
+//!   every reachable nondeterminism source: map iteration, wall clock,
+//!   undeclared env reads, thread identity, entropy-seeded RNGs,
+//!   unordered float reduction). Residual risks are suppressed inline
+//!   with a mandatory written justification; `sos-lint --format json`
+//!   emits the machine-readable report ([`report`]).
 
 pub mod auditors;
 pub mod callgraph;
+pub mod determinism;
 pub mod harness;
 pub mod lint;
 pub mod panicpath;
@@ -48,6 +53,9 @@ pub use auditors::{
     PlacementAuditor, ValidCountAuditor, WearMonotonicityAuditor,
 };
 pub use callgraph::CallGraph;
+pub use determinism::{
+    deterministic_entry_points, run_determinism, DeterminismReport, NondetFinding, NondetSource,
+};
 pub use harness::{
     run_audited_days, run_crashy_days, seed_from_env, AuditFinding, AuditedFtl, CoreAuditorSet,
     CrashSweepReport, RecoveryAuditor,

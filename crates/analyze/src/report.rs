@@ -10,10 +10,12 @@ use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// Report format version, bumped on breaking shape changes.
-pub const REPORT_VERSION: u32 = 1;
+/// Version 2 added the determinism-pass counters
+/// (`determinism_reachable_fns`, `allowlisted`).
+pub const REPORT_VERSION: u32 = 2;
 
-/// One finding in the JSON report — a lint-rule hit or a panic-path
-/// construct.
+/// One finding in the JSON report — a lint-rule hit, a panic-path
+/// construct, or a nondeterminism source.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReportFinding {
     /// Rule name (`no-unwrap`, `panic-path`, …).
@@ -31,12 +33,16 @@ pub struct ReportFinding {
 /// Aggregate counters for the run.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ReportSummary {
-    /// Non-test functions reachable from the entry points.
+    /// Non-test functions reachable from the panic-path entry points.
     pub reachable_fns: usize,
+    /// Non-test functions reachable from the determinism entry points.
+    pub determinism_reachable_fns: usize,
     /// Call sites that resolved to no workspace definition.
     pub unresolved_calls: usize,
     /// Findings silenced by justified suppressions.
     pub suppressed: usize,
+    /// Clock/float-reduction hits inside the stderr-timing allowlist.
+    pub allowlisted: usize,
     /// Entry points that resolved to a definition.
     pub entry_points: Vec<String>,
     /// Configured entry points with no matching definition.
@@ -79,8 +85,14 @@ impl JsonReport {
         out.push_str("  \"summary\": {\n");
         let s = &self.summary;
         let _ = writeln!(out, "    \"reachable_fns\": {},", s.reachable_fns);
+        let _ = writeln!(
+            out,
+            "    \"determinism_reachable_fns\": {},",
+            s.determinism_reachable_fns
+        );
         let _ = writeln!(out, "    \"unresolved_calls\": {},", s.unresolved_calls);
         let _ = writeln!(out, "    \"suppressed\": {},", s.suppressed);
+        let _ = writeln!(out, "    \"allowlisted\": {},", s.allowlisted);
         let _ = writeln!(
             out,
             "    \"entry_points\": {},",
@@ -148,8 +160,10 @@ fn parse_summary(value: &JsonValue) -> Result<ReportSummary, String> {
     for (key, value) in value.as_object()? {
         match key.as_str() {
             "reachable_fns" => summary.reachable_fns = value.as_usize()?,
+            "determinism_reachable_fns" => summary.determinism_reachable_fns = value.as_usize()?,
             "unresolved_calls" => summary.unresolved_calls = value.as_usize()?,
             "suppressed" => summary.suppressed = value.as_usize()?,
+            "allowlisted" => summary.allowlisted = value.as_usize()?,
             "entry_points" => summary.entry_points = value.as_string_array()?,
             "missing_entry_points" => summary.missing_entry_points = value.as_string_array()?,
             other => return Err(format!("unknown summary key `{other}`")),
@@ -395,8 +409,10 @@ mod tests {
             ],
             summary: ReportSummary {
                 reachable_fns: 31,
+                determinism_reachable_fns: 57,
                 unresolved_calls: 120,
                 suppressed: 9,
+                allowlisted: 7,
                 entry_points: vec!["Ftl::recover".to_string(), "HostFs::remount".to_string()],
                 missing_entry_points: vec!["Ftl::gone".to_string()],
             },

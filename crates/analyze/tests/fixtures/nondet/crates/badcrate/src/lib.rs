@@ -1,0 +1,67 @@
+//! Golden fixture for the determinism pass: one known-bad example per
+//! nondeterminism source kind, each behind a small call chain so the
+//! chain reporting is pinned too. This file is *parsed*, never
+//! compiled — it only has to lex like real Rust.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+pub struct Registry {
+    entries: HashMap<u64, u64>,
+}
+
+impl Registry {
+    fn tally(&self) -> u64 {
+        // map-iteration: HashMap value order is process-random.
+        self.entries.values().sum()
+    }
+}
+
+/// The deterministic-output entry point of the fixture crate.
+pub fn cache_report(registry: &Registry) -> u64 {
+    summarize(registry)
+}
+
+fn summarize(registry: &Registry) -> u64 {
+    registry.tally() + stamp() + pick_seed() + ambient_noise() + worker_tag() + shared_total()
+}
+
+fn stamp() -> u64 {
+    // wall-clock: a clock reading outside the stderr-timing allowlist.
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+fn pick_seed() -> u64 {
+    // unseeded-rng: entropy-based construction, not task_seed-derived.
+    let mut rng = StdRng::from_entropy();
+    rng.next_u64()
+}
+
+fn ambient_noise() -> u64 {
+    // env-read: a variable outside the declared SOS_* set.
+    std::env::var("NODE_NAME").map(|v| v.len() as u64).unwrap_or(0)
+}
+
+fn worker_tag() -> u64 {
+    // thread-identity: worker identity reaching a result.
+    let _ = std::thread::current();
+    7
+}
+
+fn shared_total() -> u64 {
+    // float-reduction: a float accumulator shared across workers.
+    let total: Mutex<f64> = Mutex::new(0.0);
+    *total.lock().unwrap() as u64
+}
+
+fn justified_stamp() -> u64 {
+    // sos-lint: allow(nondeterminism, "diagnostic timing, printed to stderr only")
+    let started = Instant::now();
+    started.elapsed().as_nanos() as u64
+}
+
+pub fn diagnostics(registry: &Registry) -> u64 {
+    let _ = registry;
+    justified_stamp()
+}

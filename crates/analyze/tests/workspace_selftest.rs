@@ -6,11 +6,12 @@
 //!   byte spans, whitespace-only gaps, correct line bookkeeping — so
 //!   span-based rules can trust token positions anywhere in the tree;
 //! * the tree itself is the zero-finding baseline the CI job enforces:
-//!   no unsuppressed lint or panic-path findings, and every configured
-//!   recovery entry point resolves.
+//!   no unsuppressed lint, panic-path, or nondeterminism findings, and
+//!   every configured entry point resolves.
 
 use sos_analyze::{
-    harness_entry_points, recovery_entry_points, run_lints_on, run_panic_path, Workspace,
+    deterministic_entry_points, harness_entry_points, recovery_entry_points, run_determinism,
+    run_lints_on, run_panic_path, Workspace,
 };
 use std::path::PathBuf;
 
@@ -105,5 +106,39 @@ fn workspace_is_the_zero_finding_baseline() {
         report.reachable_fns >= 100,
         "suspiciously small recovery surface: {} fns",
         report.reachable_fns
+    );
+}
+
+#[test]
+fn workspace_has_zero_nondeterminism_findings() {
+    let workspace = Workspace::load(&workspace_root());
+    let report = run_determinism(&workspace, &deterministic_entry_points());
+    assert!(
+        report.missing_entry_points.is_empty(),
+        "determinism entry points no longer resolve (renamed?): {:?}",
+        report.missing_entry_points
+    );
+    assert!(
+        report.findings.is_empty(),
+        "nondeterminism findings in the tree:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.reachable_fns >= 100,
+        "suspiciously small deterministic-output surface: {} fns",
+        report.reachable_fns
+    );
+    // The runner and the perf kernels time themselves on purpose; the
+    // allowlist must keep absorbing those hits (a drop to zero means
+    // the allowlist match broke, not that the timing went away).
+    assert!(
+        report.allowlisted >= 7,
+        "stderr-timing allowlist stopped matching: {} hit(s)",
+        report.allowlisted
     );
 }

@@ -3,16 +3,24 @@
 //!
 //! The heavyweight experiments (E11 end-to-end, E12 crash sweep) carry
 //! their own thread-invariance tests next to their implementations;
-//! here the two remaining ported experiments get the same treatment,
+//! here the remaining ported experiments get the same treatment,
 //! including the exact 1/2/8 thread ladder the harness documents, plus
 //! the stdout/stderr split that keeps wall-clock noise out of reports.
+//! E17 (flash cache) landed after the original pair and is diffed on
+//! the same ladder so a placement-experiment regression cannot hide
+//! behind its in-crate self-gate.
 
-use sos_bench::{capacity_variance_report, wl_ablation_report};
+use sos_bench::{
+    capacity_variance_report, flash_cache_report, wl_ablation_report, FlashCacheOptions,
+};
 
 /// Non-deterministic wall-clock text must never leak into the report
-/// half of an experiment's output.
+/// half of an experiment's output. The markers match the runner's
+/// stderr diagnostic line ("… s wall, … s busy, …% worker
+/// utilization"); bare "utilization" would false-positive on E17's
+/// deterministic cache-utilization header.
 fn assert_report_is_clock_free(report: &str) {
-    for marker in ["utilization", "s wall", "s busy"] {
+    for marker in ["worker utilization", "s wall", "s busy"] {
         assert!(
             !report.contains(marker),
             "timing text {marker:?} leaked into deterministic stdout:\n{report}"
@@ -37,6 +45,27 @@ fn wl_ablation_is_identical_across_threads_1_2_8() {
         assert_eq!(
             baseline.report, parallel.report,
             "E10 stdout diverged between 1 and {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn flash_cache_is_identical_across_threads_1_2_8() {
+    let options = FlashCacheOptions {
+        days: 4,
+        base_seed: 5,
+        utilization: 0.88,
+        gets_per_day: 1200,
+    };
+    let baseline = flash_cache_report(&options, 1);
+    assert!(baseline.report.contains("E17"), "{}", baseline.report);
+    assert!(!baseline.failed);
+    assert_report_is_clock_free(&baseline.report);
+    for threads in [2, 8] {
+        let parallel = flash_cache_report(&options, threads);
+        assert_eq!(
+            baseline.report, parallel.report,
+            "E17 stdout diverged between 1 and {threads} thread(s)"
         );
     }
 }

@@ -10,7 +10,7 @@ use crate::object::{
 use crate::partition::PartitionStore;
 use sos_flash::{CellDensity, DeviceConfig, ProgramMode};
 use sos_ftl::{DataTag, Ftl, FtlConfig, FtlError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Location record for one stored object.
 #[derive(Debug, Clone)]
@@ -23,7 +23,7 @@ struct ObjectInfo {
 /// A conventional personal storage device: one partition, one density.
 pub struct BaselineDevice {
     store: PartitionStore,
-    objects: HashMap<ObjectId, ObjectInfo>,
+    objects: BTreeMap<ObjectId, ObjectInfo>,
     counters: DeviceCounters,
     pressure: bool,
 }
@@ -36,7 +36,7 @@ impl BaselineDevice {
         let ftl = Ftl::new(&base, FtlConfig::conventional(ProgramMode::native(density)));
         BaselineDevice {
             store: PartitionStore::new(ftl, DataTag::sys_hot()),
-            objects: HashMap::new(),
+            objects: BTreeMap::new(),
             counters: DeviceCounters::default(),
             pressure: false,
         }
@@ -175,9 +175,9 @@ impl ObjectStore for BaselineDevice {
         let report = self.store.ftl.scrub().map_err(Self::storage_error)?;
         let lost = self.store.process_events();
         if !lost.is_empty() {
-            let lost: std::collections::HashSet<u64> = lost.into_iter().collect();
+            let lost_set: std::collections::HashSet<u64> = lost.into_iter().collect();
             for info in self.objects.values_mut() {
-                if !info.damaged && info.lpns.iter().any(|l| lost.contains(l)) {
+                if !info.damaged && info.lpns.iter().any(|l| lost_set.contains(l)) {
                     info.damaged = true;
                     self.counters.objects_damaged += 1;
                 }

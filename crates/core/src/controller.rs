@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use sos_classify::{Classifier, Daemon, DaemonConfig, FeatureExtractor, Placement};
 use sos_media::{decode, psnr, synthetic_photo, Image, ImageCodec};
 use sos_workload::{DeviceLife, FileClass, TraceOp};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Controller policy.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -86,7 +86,7 @@ pub struct SosController<D: ObjectStore, C: Classifier> {
     pub life: DeviceLife,
     config: ControllerConfig,
     /// Original images of sampled media objects, for PSNR measurement.
-    originals: HashMap<ObjectId, Image>,
+    originals: BTreeMap<ObjectId, Image>,
     codec: ImageCodec,
     /// Read-latency samples.
     pub read_latency: LatencyRecorder,
@@ -117,7 +117,7 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
             cloud: CloudBackup::new(cloud),
             life,
             config,
-            originals: HashMap::new(),
+            originals: BTreeMap::new(),
             codec: ImageCodec::default_photo(),
             read_latency: LatencyRecorder::new(),
             quality: QualityTimeline::default(),
@@ -304,12 +304,10 @@ impl<D: ObjectStore, C: Classifier> SosController<D, C> {
     /// Measures PSNR of all sampled media still alive; repairs from the
     /// cloud when quality fell through the floor.
     pub fn measure_quality(&mut self) -> Vec<f64> {
-        // Measure in id order: HashMap iteration order is process-random
-        // and each `get` disturbs device state (read-disturb counters,
-        // error-sampling RNG draws), so an unsorted walk makes the
-        // reported PSNR vary run to run.
-        let mut ids: Vec<ObjectId> = self.originals.keys().copied().collect();
-        ids.sort_unstable();
+        // Measure in id order: each `get` disturbs device state
+        // (read-disturb counters, error-sampling RNG draws), so the walk
+        // order must be stable run to run — the BTreeMap guarantees it.
+        let ids: Vec<ObjectId> = self.originals.keys().copied().collect();
         let mut psnrs = Vec::with_capacity(ids.len());
         for id in ids {
             let data = match self.device.get(id) {

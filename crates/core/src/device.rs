@@ -14,7 +14,7 @@ use crate::stripe::StripeManager;
 use serde::{Deserialize, Serialize};
 use sos_flash::{CellDensity, DeviceConfig, FaultPlan, FlashError, Geometry};
 use sos_ftl::{DataTag, Ftl, FtlConfig, FtlError, RecoveryReport};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// SOS device configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -105,7 +105,7 @@ pub struct SosDevice {
     sys: PartitionStore,
     spare: PartitionStore,
     stripes: StripeManager,
-    objects: HashMap<ObjectId, ObjectInfo>,
+    objects: BTreeMap<ObjectId, ObjectInfo>,
     counters: DeviceCounters,
     /// Space-pressure flag raised by maintenance.
     pressure: bool,
@@ -145,7 +145,7 @@ impl SosDevice {
             sys,
             spare,
             stripes,
-            objects: HashMap::new(),
+            objects: BTreeMap::new(),
             counters: DeviceCounters::default(),
             pressure: false,
         }
@@ -169,7 +169,7 @@ impl SosDevice {
     /// Takes a read-only snapshot of both partition FTLs, the stripe
     /// layout, and the object directory for invariant auditing.
     pub fn audit_snapshot(&self) -> crate::audit::CoreState {
-        let mut objects: Vec<crate::audit::ObjectSnapshot> = self
+        let objects: Vec<crate::audit::ObjectSnapshot> = self
             .objects
             .iter()
             .map(|(&id, info)| crate::audit::ObjectSnapshot {
@@ -180,7 +180,6 @@ impl SosDevice {
                 damaged: info.damaged,
             })
             .collect();
-        objects.sort_by_key(|o| o.id);
         crate::audit::CoreState {
             sys: self.sys.ftl.audit_snapshot(),
             spare: self.spare.ftl.audit_snapshot(),
@@ -398,8 +397,7 @@ impl SosDevice {
         // pre-refresh parity (still consistent with the stripe unless
         // the parity write itself tore — the documented write hole).
         self.stripes = StripeManager::rebuild(width, parity_base, sys_refs.iter().copied());
-        let mut ids: Vec<ObjectId> = self.objects.keys().copied().collect();
-        ids.sort_unstable();
+        let ids: Vec<ObjectId> = self.objects.keys().copied().collect();
         let mut newly_damaged = 0u64;
         for id in ids {
             let Some(info) = self.objects.get(&id).cloned() else {
@@ -597,11 +595,11 @@ impl ObjectStore for SosDevice {
             if lost.is_empty() {
                 continue;
             }
-            let lost: std::collections::HashSet<u64> = lost.into_iter().collect();
+            let lost_set: std::collections::HashSet<u64> = lost.into_iter().collect();
             for info in self.objects.values_mut() {
                 if info.partition == partition
                     && !info.damaged
-                    && info.lpns.iter().any(|l| lost.contains(l))
+                    && info.lpns.iter().any(|l| lost_set.contains(l))
                 {
                     info.damaged = true;
                     self.counters.objects_damaged += 1;

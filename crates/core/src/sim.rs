@@ -190,6 +190,7 @@ fn absorb_flash_stats(perf: &mut PerfCounters, stats: &sos_flash::device::Device
 
 /// Runs one design through a simulated device life.
 pub fn run_design(kind: DesignKind, config: &SimConfig) -> SimResult {
+    // sos-lint: allow(nondeterminism, "wall_seconds feeds the stderr-only throughput diagnostics; counter_summary() excludes it from stdout")
     let started = std::time::Instant::now();
     let model = EmbodiedModel::default();
     match kind {

@@ -6,7 +6,7 @@
 //! so a page the BCH cannot recover is rebuilt from its stripe peers.
 
 use sos_ftl::{Ftl, FtlError, PlacementHandle};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 // Parity pages use the dedicated parity handle (kept apart from data
 // reclaim units: parity is rewritten far more often); the constant
@@ -26,7 +26,7 @@ pub struct StripeManager {
     /// First LPN of the reserved parity range.
     parity_base: u64,
     /// Member LPNs currently live, per stripe.
-    members: HashMap<u64, Vec<u64>>,
+    members: BTreeMap<u64, Vec<u64>>,
 }
 
 impl StripeManager {
@@ -43,7 +43,7 @@ impl StripeManager {
         StripeManager {
             width,
             parity_base,
-            members: HashMap::new(),
+            members: BTreeMap::new(),
         }
     }
 
@@ -76,8 +76,7 @@ impl StripeManager {
     /// whose membership changed. Returns the number of stripes
     /// refreshed.
     pub fn scrub_parity(&mut self, ftl: &mut Ftl) -> Result<u64, FtlError> {
-        let mut stripes: Vec<u64> = self.members.keys().copied().collect();
-        stripes.sort_unstable();
+        let stripes: Vec<u64> = self.members.keys().copied().collect();
         let mut refreshed = 0;
         for stripe in stripes {
             let members = match self.members.get(&stripe) {
@@ -116,13 +115,10 @@ impl StripeManager {
     /// Snapshot of live stripes as `(stripe index, member LPNs)` pairs,
     /// sorted by stripe index, for invariant auditing.
     pub fn stripe_snapshot(&self) -> Vec<(u64, Vec<u64>)> {
-        let mut stripes: Vec<(u64, Vec<u64>)> = self
-            .members
+        self.members
             .iter()
             .map(|(&stripe, members)| (stripe, members.clone()))
-            .collect();
-        stripes.sort_by_key(|&(stripe, _)| stripe);
-        stripes
+            .collect()
     }
 
     /// Splits a logical page count into `(data_pages, parity_pages)`

@@ -24,7 +24,7 @@
 //! bit-identical placement decisions (pinned by
 //! `tests/proptest_placement.rs`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Legacy placement stream identifier — the wire encoding of a
 /// [`PlacementHandle`] as stored in per-page OOB metadata. Kept as a
@@ -313,7 +313,7 @@ pub trait PlacementBackend {
 /// handle appends into and the lifecycle telemetry.
 #[derive(Debug, Default)]
 pub struct StreamPlacement {
-    units: HashMap<StreamId, ReclaimUnit>,
+    units: BTreeMap<StreamId, ReclaimUnit>,
     events: Vec<PlacementEvent>,
     stats: PlacementStats,
 }

@@ -365,8 +365,9 @@ impl Ftl {
             if let Some((data_seq, slots, next_pages)) =
                 parse_checkpoint(&payload, logical_pages, total_blocks)
             {
-                let blocks: HashSet<u64> = run.iter().map(|&(_, _, _, block)| block).collect();
-                applied = Some((data_seq, slots, next_pages, blocks));
+                let checkpoint_blocks: HashSet<u64> =
+                    run.iter().map(|&(_, _, _, block)| block).collect();
+                applied = Some((data_seq, slots, next_pages, checkpoint_blocks));
                 break;
             }
         }

@@ -18,9 +18,12 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo run -q -p sos-analyze --bin sos-lint
+run cargo run -q -p sos-analyze --bin sos-lint -- --only determinism
 mkdir -p target
 cargo run -q -p sos-analyze --bin sos-lint -- --format json > target/sos-lint-report.json || true
 echo "==> sos-lint JSON report: target/sos-lint-report.json"
+cargo run -q -p sos-analyze --bin sos-lint -- --only determinism --format json > target/sos-determinism-report.json || true
+echo "==> determinism JSON report: target/sos-determinism-report.json"
 
 if [[ "$fast" -eq 0 ]]; then
     run cargo build --release
