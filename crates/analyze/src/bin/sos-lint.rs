@@ -22,9 +22,9 @@
 use sos_analyze::determinism::NONDETERMINISM_RULE;
 use sos_analyze::panicpath::PANIC_PATH_RULE;
 use sos_analyze::{
-    deterministic_entry_points, harness_entry_points, recovery_entry_points, run_determinism,
-    run_lints_on, run_panic_path, DeterminismReport, JsonReport, PanicPathReport, ReportFinding,
-    ReportSummary, Workspace,
+    deterministic_entry_points, device_hot_entry_points, harness_entry_points,
+    recovery_entry_points, run_determinism, run_lints_on, run_panic_path, DeterminismReport,
+    JsonReport, PanicPathReport, ReportFinding, ReportSummary, Workspace,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -112,6 +112,7 @@ fn main() -> ExitCode {
     let panic_path = if options.runs(Pass::PanicPath) {
         let mut entry_points = recovery_entry_points();
         entry_points.extend(harness_entry_points());
+        entry_points.extend(device_hot_entry_points());
         run_panic_path(&workspace, &entry_points)
     } else {
         PanicPathReport::default()

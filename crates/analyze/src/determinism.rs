@@ -65,7 +65,7 @@ pub const ALLOWED_ENV_VARS: &[&str] = &["SOS_THREADS", "SOS_SEED"];
 
 /// Free functions whose *job* is timing and whose clock readings are
 /// confined to stderr (`RunnerReport`) or to the tolerance-gated perf
-/// baseline: the runner fan-out and the six `perf_suite` kernels.
+/// baseline: the runner fan-out and the seven `perf_suite` kernels.
 /// Wall-clock and float-reduction hits inside these bodies are counted
 /// as `allowlisted`, not reported. Map iteration and the other source
 /// kinds are still enforced even here.
@@ -76,6 +76,7 @@ pub const STDERR_TIMING_ALLOWLIST: &[&str] = &[
     "gc_churn",
     "recovery_scan",
     "end_to_end_day",
+    "end_to_end_day_t8",
     "flash_cache_day",
 ];
 
@@ -118,7 +119,9 @@ pub fn deterministic_entry_points() -> Vec<EntryPoint> {
         "gc_churn",
         "recovery_scan",
         "end_to_end_day",
+        "end_to_end_day_t8",
         "flash_cache_day",
+        "ratchet_advance",
     ]
     .iter()
     .map(|name| EntryPoint::function(name))

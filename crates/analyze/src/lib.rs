@@ -62,7 +62,8 @@ pub use harness::{
 };
 pub use lint::{run_lints, run_lints_on, LintFinding, LintOutcome};
 pub use panicpath::{
-    harness_entry_points, recovery_entry_points, run_panic_path, EntryPoint, PanicPathReport,
+    device_hot_entry_points, harness_entry_points, recovery_entry_points, run_panic_path,
+    EntryPoint, PanicPathReport,
 };
 pub use parse::Workspace;
 pub use report::{JsonReport, ReportFinding, ReportSummary};

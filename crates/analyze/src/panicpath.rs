@@ -128,6 +128,23 @@ pub fn harness_entry_points() -> Vec<EntryPoint> {
         .collect()
 }
 
+/// Entry points for the device simulator's per-page service path: the
+/// read/program loop (including the block-batched error sampler it
+/// calls) executes millions of times per simulated day, so a reachable
+/// panic there is a device abort in every experiment. Audited as its
+/// own root set because these run far more often than the recovery
+/// paths and long before any FTL is attached.
+pub fn device_hot_entry_points() -> Vec<EntryPoint> {
+    [
+        ("FlashDevice", "read"),
+        ("FlashDevice", "program"),
+        ("ErrorBatcher", "sample"),
+    ]
+    .iter()
+    .map(|(owner, name)| EntryPoint::method(owner, name))
+    .collect()
+}
+
 /// The category of panicking construct a finding flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PanicConstruct {

@@ -10,8 +10,8 @@
 //!   every configured entry point resolves.
 
 use sos_analyze::{
-    deterministic_entry_points, harness_entry_points, recovery_entry_points, run_determinism,
-    run_lints_on, run_panic_path, Workspace,
+    deterministic_entry_points, device_hot_entry_points, harness_entry_points,
+    recovery_entry_points, run_determinism, run_lints_on, run_panic_path, Workspace,
 };
 use std::path::PathBuf;
 
@@ -86,6 +86,7 @@ fn workspace_is_the_zero_finding_baseline() {
     );
     let mut entry_points = recovery_entry_points();
     entry_points.extend(harness_entry_points());
+    entry_points.extend(device_hot_entry_points());
     let report = run_panic_path(&workspace, &entry_points);
     assert!(
         report.missing_entry_points.is_empty(),

@@ -4,7 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! perf_suite [--quick] [--out PATH] [--check BASELINE] [--tolerance FRAC]
+//! perf_suite [--quick] [--out PATH] [--check BASELINE] [--ratchet PATH]
+//!            [--tolerance FRAC]
 //! ```
 //!
 //! * `--quick` shrinks iteration counts ~10x (the CI smoke mode; the
@@ -14,14 +15,21 @@
 //!   non-zero if any kernel's throughput fell more than `--tolerance`
 //!   (default 0.25) below it. A missing baseline file is a graceful
 //!   skip, not a failure, so fresh clones and new kernels don't break.
+//! * `--ratchet PATH` is the improvement ratchet: the file records the
+//!   best value each kernel has ever posted. The run fails like
+//!   `--check` when a kernel drops more than `--tolerance` below its
+//!   best-ever, and the file is rewritten in place whenever a kernel
+//!   beats its record, so wins are banked (commit the updated file).
+//!   A missing ratchet file is seeded from the current run.
 
-use sos_bench::perf::{regressions, run_suite, BenchReport};
+use sos_bench::perf::{ratchet_advance, regressions, run_suite, BenchReport};
 use std::process::ExitCode;
 
 struct Options {
     quick: bool,
     out: String,
     check: Option<String>,
+    ratchet: Option<String>,
     tolerance: f64,
 }
 
@@ -30,6 +38,7 @@ fn parse_args() -> Result<Options, String> {
         quick: false,
         out: "BENCH_0005.json".to_string(),
         check: None,
+        ratchet: None,
         tolerance: 0.25,
     };
     let mut args = std::env::args().skip(1);
@@ -44,14 +53,21 @@ fn parse_args() -> Result<Options, String> {
                 Some(path) => options.check = Some(path),
                 None => return Err("--check expects a baseline path".into()),
             },
+            "--ratchet" => match args.next() {
+                Some(path) => options.ratchet = Some(path),
+                None => return Err("--ratchet expects a path".into()),
+            },
             "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(frac) if (0.0..1.0).contains(&frac) => options.tolerance = frac,
                 _ => return Err("--tolerance expects a fraction in [0, 1)".into()),
             },
-            "--help" | "-h" => return Err(
-                "usage: perf_suite [--quick] [--out PATH] [--check BASELINE] [--tolerance FRAC]"
-                    .into(),
-            ),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: perf_suite [--quick] [--out PATH] [--check BASELINE] \
+                     [--ratchet PATH] [--tolerance FRAC]"
+                        .into(),
+                )
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
@@ -67,13 +83,12 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "perf_suite: running {} kernels ({} mode)...",
-        6,
+        "perf_suite: running kernels ({} mode)...",
         if options.quick { "quick" } else { "full" }
     );
     let report = run_suite(options.quick);
     for entry in &report.entries {
-        println!("{:<16} {:>14.1} {}", entry.name, entry.value, entry.unit);
+        println!("{:<18} {:>14.1} {}", entry.name, entry.value, entry.unit);
     }
     if let Err(error) = std::fs::write(&options.out, report.to_json()) {
         eprintln!("perf_suite: cannot write {}: {error}", options.out);
@@ -113,6 +128,54 @@ fn main() -> ExitCode {
                 eprintln!("perf_suite: cannot compare against {baseline_path}: {error}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+
+    if let Some(ratchet_path) = &options.ratchet {
+        let mut ratchet = match std::fs::read_to_string(ratchet_path) {
+            Ok(text) => match BenchReport::from_json(&text) {
+                Ok(ratchet) => ratchet,
+                Err(error) => {
+                    eprintln!("perf_suite: unreadable ratchet {ratchet_path}: {error}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => {
+                eprintln!("perf_suite: no ratchet at {ratchet_path}; seeding from this run");
+                BenchReport {
+                    entries: Vec::new(),
+                    ..report.clone()
+                }
+            }
+        };
+        match regressions(&ratchet, &report, options.tolerance) {
+            Ok(failures) if failures.is_empty() => {
+                eprintln!(
+                    "perf_suite: no kernel fell more than {:.0}% below its best-ever ({ratchet_path})",
+                    options.tolerance * 100.0
+                );
+            }
+            Ok(failures) => {
+                for failure in &failures {
+                    eprintln!("perf_suite: RATCHET REGRESSION — {failure}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(error) => {
+                eprintln!("perf_suite: cannot compare against {ratchet_path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let improved = ratchet_advance(&mut ratchet, &report);
+        if !improved.is_empty() {
+            if let Err(error) = std::fs::write(ratchet_path, ratchet.to_json()) {
+                eprintln!("perf_suite: cannot write {ratchet_path}: {error}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "perf_suite: new best-ever for {} — updated {ratchet_path} (commit it to bank the win)",
+                improved.join(", ")
+            );
         }
     }
     ExitCode::SUCCESS

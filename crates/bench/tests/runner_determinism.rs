@@ -11,7 +11,8 @@
 //! behind its in-crate self-gate.
 
 use sos_bench::{
-    capacity_variance_report, flash_cache_report, wl_ablation_report, FlashCacheOptions,
+    capacity_variance_report, end_to_end_report, flash_cache_report, wl_ablation_report,
+    EndToEndOptions, FlashCacheOptions,
 };
 
 /// Non-deterministic wall-clock text must never leak into the report
@@ -66,6 +67,33 @@ fn flash_cache_is_identical_across_threads_1_2_8() {
         assert_eq!(
             baseline.report, parallel.report,
             "E17 stdout diverged between 1 and {threads} thread(s)"
+        );
+    }
+}
+
+/// E11 on the full 1/2/8 ladder with a deliberately tiny configuration:
+/// the end-to-end experiment is the heaviest consumer of the batched
+/// error sampler, the SoA device state and the classifier cache, so its
+/// stdout is the broadest single witness that none of them leak
+/// scheduling order.
+#[test]
+fn end_to_end_is_identical_across_threads_1_2_8() {
+    let options = EndToEndOptions {
+        days: 2,
+        heavy: false,
+        replicas: 2,
+        base_seed: 77,
+        workload_bytes: 16 << 20,
+    };
+    let baseline = end_to_end_report(&options, 1);
+    assert!(baseline.report.contains("E11"), "{}", baseline.report);
+    assert!(!baseline.failed);
+    assert_report_is_clock_free(&baseline.report);
+    for threads in [2, 8] {
+        let parallel = end_to_end_report(&options, threads);
+        assert_eq!(
+            baseline.report, parallel.report,
+            "E11 stdout diverged between 1 and {threads} thread(s)"
         );
     }
 }

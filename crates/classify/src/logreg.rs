@@ -32,6 +32,54 @@ fn sigmoid(z: f64) -> f64 {
     1.0 / (1.0 + (-z).exp())
 }
 
+/// One gradient-descent pass over all samples with the feature width
+/// known at compile time (lets the dot product and gradient update
+/// unroll). `gradient` must be zeroed; the bias slot is written last.
+fn epoch_pass<const D: usize>(
+    weights: &[f64],
+    rows: &[f64],
+    targets: &[f64],
+    gradient: &mut [f64],
+) {
+    let bias = weights[D];
+    let weights: &[f64; D] = weights[..D].try_into().expect("feature width");
+    let (slope, bias_slot) = gradient.split_at_mut(D);
+    let slope: &mut [f64; D] = slope.try_into().expect("feature width");
+    let mut bias_gradient = 0.0;
+    for (row, &y) in rows.chunks_exact(D).zip(targets) {
+        let z = row.iter().zip(weights).map(|(&x, &w)| x * w).sum::<f64>() + bias;
+        let error = sigmoid(z) - y;
+        for (g, &x) in slope.iter_mut().zip(row) {
+            *g += error * x;
+        }
+        bias_gradient += error;
+    }
+    bias_slot[0] = bias_gradient;
+}
+
+/// [`epoch_pass`] for a feature width only known at run time.
+fn epoch_pass_dyn(
+    dims: usize,
+    weights: &[f64],
+    rows: &[f64],
+    targets: &[f64],
+    gradient: &mut [f64],
+) {
+    let bias = weights[dims];
+    let weights = &weights[..dims];
+    let (slope, bias_slot) = gradient.split_at_mut(dims);
+    let mut bias_gradient = 0.0;
+    for (row, &y) in rows.chunks_exact(dims).zip(targets) {
+        let z = row.iter().zip(weights).map(|(&x, &w)| x * w).sum::<f64>() + bias;
+        let error = sigmoid(z) - y;
+        for (g, &x) in slope.iter_mut().zip(row) {
+            *g += error * x;
+        }
+        bias_gradient += error;
+    }
+    bias_slot[0] = bias_gradient;
+}
+
 impl LogisticRegression {
     /// Raw decision value (pre-sigmoid) for a standardised row.
     fn logit(&self, row: &[f64]) -> f64 {
@@ -48,22 +96,31 @@ impl Classifier for LogisticRegression {
     fn train(&mut self, features: &[Vec<f64>], labels: &[bool]) {
         check_training_set(features, labels);
         self.standardiser = Standardiser::fit(features);
-        let rows: Vec<Vec<f64>> = features
-            .iter()
-            .map(|r| self.standardiser.apply(r))
-            .collect();
-        let dims = rows[0].len();
-        let n = rows.len() as f64;
+        let dims = features[0].len();
+        // Standardised rows flattened into one contiguous buffer: the
+        // epoch loop streams it linearly instead of chasing a pointer
+        // per row. Arithmetic order per sample is unchanged.
+        let mut rows = Vec::with_capacity(features.len() * dims);
+        for row in features {
+            rows.extend_from_slice(&self.standardiser.apply(row));
+        }
+        let targets: Vec<f64> = labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+        let n = features.len() as f64;
         self.weights = vec![0.0; dims + 1];
+        let mut gradient = vec![0.0; dims + 1];
         for _ in 0..self.epochs {
-            let mut gradient = vec![0.0; dims + 1];
-            for (row, &label) in rows.iter().zip(labels) {
-                let y = if label { 1.0 } else { 0.0 };
-                let error = sigmoid(self.logit(row)) - y;
-                for (g, &x) in gradient.iter_mut().zip(row) {
-                    *g += error * x;
-                }
-                gradient[dims] += error;
+            gradient.iter_mut().for_each(|g| *g = 0.0);
+            // Monomorphise the hot pass for the standard feature width so
+            // the per-sample loops fully unroll; any other width takes
+            // the generic path. Arithmetic is identical either way.
+            match dims {
+                crate::features::FEATURE_COUNT => epoch_pass::<{ crate::features::FEATURE_COUNT }>(
+                    &self.weights,
+                    &rows,
+                    &targets,
+                    &mut gradient,
+                ),
+                _ => epoch_pass_dyn(dims, &self.weights, &rows, &targets, &mut gradient),
             }
             for (index, (w, g)) in self.weights.iter_mut().zip(&gradient).enumerate() {
                 let reg = if index < dims { self.l2 * *w } else { 0.0 };

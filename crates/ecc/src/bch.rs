@@ -10,10 +10,12 @@
 //! positions `0..p` hold parity (`p = n - k` parity bits); codes are used
 //! *shortened*, with unused high positions implicitly zero.
 //!
-//! The encoder uses byte-at-a-time table-driven polynomial division and
-//! the syndrome pass uses per-byte contribution tables, so both run at
-//! simulator-friendly speed; the bit-serial reference implementation is
-//! kept for table construction and as a test oracle.
+//! The encoder uses word-at-a-time (64-bit) table-driven polynomial
+//! division with eight per-lane byte tables, and the syndrome pass
+//! accumulates eight bytes per field multiplication (odd syndromes only;
+//! even syndromes follow from `S_{2i} = S_i^2` over GF(2)). The
+//! byte-at-a-time and bit-serial implementations are kept for table
+//! construction and as test oracles.
 
 use crate::gf::GaloisField;
 
@@ -71,6 +73,24 @@ fn flip_bit(bytes: &mut [u8], i: usize) {
 }
 
 #[inline]
+// sos-lint: allow(panic-path, "every caller bounds the offset to len - 8 via an explicit length split")
+fn read_u64_le(bytes: &[u8], at: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(w)
+}
+
+/// Whether serializing `reg` (LSB-first, as [`BchCode::append_parity`]
+/// does) reproduces `parity` byte for byte.
+// sos-lint: allow(panic-path, "parity spans parity_bytes() bytes, which the register is sized to hold")
+fn register_matches(reg: &[u64], parity: &[u8]) -> bool {
+    parity
+        .iter()
+        .enumerate()
+        .all(|(i, &byte)| (reg[i / 8] >> ((i % 8) * 8)) as u8 == byte)
+}
+
+#[inline]
 // sos-lint: allow(panic-path, "every caller derives the word index from the register's own length")
 fn reg_get(reg: &[u64], i: usize) -> bool {
     reg[i / 64] & (1 << (i % 64)) != 0
@@ -101,12 +121,26 @@ pub struct BchCode {
     /// Byte-division table: entry `o` holds the register adjustment for
     /// outgoing byte `o` (only built when `p >= 8`).
     encode_table: Vec<u64>,
+    /// Word-division lane tables (only built when `p >= 64`): entry
+    /// `(k * 256 + b) * words ..` holds `(b(x) · x^(8k + p)) mod g`, the
+    /// register adjustment for byte `b` in lane `k` of an outgoing
+    /// 64-bit word.
+    encode_table64: Vec<u64>,
     /// Per-syndrome per-byte contribution: `contrib[j * 256 + byte]`.
     contrib: Vec<u32>,
     /// Per-syndrome byte step `alpha^(8 (j+1))`.
     step: Vec<u32>,
     /// Per-syndrome parity offset `alpha^(p (j+1))`.
     pmul: Vec<u32>,
+    /// Word-wide lane tables for odd syndromes: entry
+    /// `(oi * 8 + k) * 256 + b` is `contrib_e[b] · alpha^(8 k e)` for
+    /// `e = 2 oi + 1`.
+    wcontrib: Vec<u32>,
+    /// Per-odd-syndrome word step `alpha^(64 e)`, `e = 2 oi + 1`.
+    wstep: Vec<u32>,
+    /// Solver table for `y^2 + y = u`: `qsolve[u]` is the smaller
+    /// solution `y`, or `u32::MAX` when `u` has trace 1 (no solution).
+    qsolve: Vec<u32>,
 }
 
 impl BchCode {
@@ -158,9 +192,13 @@ impl BchCode {
             g_low,
             words,
             encode_table: Vec::new(),
+            encode_table64: Vec::new(),
             contrib: Vec::new(),
             step: Vec::new(),
             pmul: Vec::new(),
+            wcontrib: Vec::new(),
+            wstep: Vec::new(),
+            qsolve: Vec::new(),
         };
         code.build_tables();
         code
@@ -187,6 +225,21 @@ impl BchCode {
             }
             self.encode_table = table;
         }
+        // Word-division lane tables: lane 0 is the byte table itself
+        // ((b · x^p) mod g); lane k multiplies lane k-1 by x^8 mod g.
+        if p >= 64 {
+            let mut table = vec![0u64; 8 * 256 * self.words];
+            for b in 0..256usize {
+                let mut reg = vec![0u64; self.words];
+                reg.copy_from_slice(&self.encode_table[b * self.words..(b + 1) * self.words]);
+                for k in 0..8 {
+                    table[(k * 256 + b) * self.words..(k * 256 + b + 1) * self.words]
+                        .copy_from_slice(&reg);
+                    self.byte_step(&mut reg, 0);
+                }
+            }
+            self.encode_table64 = table;
+        }
         // Syndrome tables.
         let count = 2 * self.t;
         let mut contrib = vec![0u32; count * 256];
@@ -210,6 +263,35 @@ impl BchCode {
         self.contrib = contrib;
         self.step = step;
         self.pmul = pmul;
+        // Word-wide lane tables for the odd syndromes (even syndromes are
+        // derived by squaring: S_{2i} = S_i^2 over GF(2)).
+        let odd = self.t;
+        let mut wcontrib = vec![0u32; odd * 8 * 256];
+        let mut wstep = vec![0u32; odd];
+        for oi in 0..odd {
+            let e = (2 * oi as u64 + 1) % n;
+            wstep[oi] = self.gf.alpha_pow(((64 * e) % n) as u32);
+            for k in 0..8u64 {
+                let lane_mul = self.gf.alpha_pow(((8 * k * e) % n) as u32);
+                for b in 0..256usize {
+                    wcontrib[(oi * 8 + k as usize) * 256 + b] =
+                        self.gf.mul(self.contrib[(2 * oi) * 256 + b], lane_mul);
+                }
+            }
+        }
+        self.wcontrib = wcontrib;
+        self.wstep = wstep;
+        // Quadratic solver table: y^2 + y is 2-to-1 onto the trace-zero
+        // subspace; record the smaller preimage of each image.
+        let size = (self.gf.n + 1) as usize;
+        let mut qsolve = vec![u32::MAX; size];
+        for y in 0..size as u32 {
+            let image = (self.gf.square(y) ^ y) as usize;
+            if qsolve[image] == u32::MAX {
+                qsolve[image] = y;
+            }
+        }
+        self.qsolve = qsolve;
     }
 
     /// One bit of LFSR polynomial division: feed `bit`, update the
@@ -303,8 +385,39 @@ impl BchCode {
         reg
     }
 
-    /// Table-driven byte-at-a-time encoder.
+    /// One byte of table-driven polynomial division: feed `byte`, update
+    /// the register (requires `p >= 8` and a built byte table).
+    #[inline]
     // sos-lint: allow(panic-path, "the register and lookup tables are sized to r_words/256 at construction")
+    fn byte_step(&self, reg: &mut [u64], byte: u8) {
+        let p = self.parity_bits();
+        // Extract bits p-8..p (the next 8 outgoing feedback bits).
+        let base = p - 8;
+        let word = base / 64;
+        let offset = base % 64;
+        let mut top = (reg[word] >> offset) as u16;
+        if offset > 56 && word + 1 < self.words {
+            top |= (reg[word + 1] << (64 - offset)) as u16;
+        }
+        let o = (top as u8) ^ byte;
+        // Shift the register left by 8, clearing bits >= p.
+        for w in (1..self.words).rev() {
+            reg[w] = (reg[w] << 8) | (reg[w - 1] >> 56);
+        }
+        reg[0] <<= 8;
+        let top_bits = p % 64;
+        if top_bits != 0 {
+            let last = self.words - 1;
+            reg[last] &= (1u64 << top_bits) - 1;
+        }
+        // Apply the table adjustment.
+        let entry = &self.encode_table[o as usize * self.words..(o as usize + 1) * self.words];
+        for (r, &e) in reg.iter_mut().zip(entry) {
+            *r ^= e;
+        }
+    }
+
+    /// Table-driven byte-at-a-time encoder (oracle for the word path).
     fn encode_register(&self, data: &[u8]) -> Vec<u64> {
         let p = self.parity_bits();
         if p < 8 || self.encode_table.is_empty() {
@@ -312,29 +425,114 @@ impl BchCode {
         }
         let mut reg = vec![0u64; self.words];
         for &byte in data.iter().rev() {
-            // Extract bits p-8..p (the next 8 outgoing feedback bits).
-            let base = p - 8;
-            let word = base / 64;
-            let offset = base % 64;
-            let mut top = (reg[word] >> offset) as u16;
-            if offset > 56 && word + 1 < self.words {
-                top |= (reg[word + 1] << (64 - offset)) as u16;
+            self.byte_step(&mut reg, byte);
+        }
+        reg
+    }
+
+    /// Word-at-a-time encoder: processes 64 data bits per register
+    /// update via the eight lane tables. Falls back to the byte/bit
+    /// paths for codes whose parity register is narrower than a word.
+    /// (Test-only: `encode_append` inlines the same dispatch to skip the
+    /// register round-trip through the heap.)
+    #[cfg(test)]
+    fn encode_words(&self, data: &[u8]) -> Vec<u64> {
+        let p = self.parity_bits();
+        if p < 64 || self.encode_table64.is_empty() {
+            return self.encode_register(data);
+        }
+        // Monomorphize the common register widths so the shift register
+        // lives in CPU registers across the whole chunk loop: 4 words
+        // covers the t=18 default (p=234), 9 words the t=40 strong code
+        // (p=520).
+        match self.words {
+            4 => self.encode_words_fixed::<4>(data).to_vec(),
+            9 => self.encode_words_fixed::<9>(data).to_vec(),
+            _ => self.encode_words_generic(data),
+        }
+    }
+
+    /// Word-at-a-time encode with a const-width register.
+    // sos-lint: allow(panic-path, "the caller dispatches on self.words == W; lane tables are sized to 8*256*W at construction; chunk offsets are bounded by the length split")
+    fn encode_words_fixed<const W: usize>(&self, data: &[u8]) -> [u64; W] {
+        debug_assert_eq!(self.words, W);
+        let p = self.parity_bits();
+        let chunks = data.len() / 8;
+        // Data is consumed high-index first: lead with the byte-wise
+        // remainder, then the full 8-byte chunks.
+        let mut reg = [0u64; W];
+        for &byte in data[chunks * 8..].iter().rev() {
+            self.byte_step(&mut reg, byte);
+        }
+        let base = p - 64;
+        let word = base / 64;
+        let offset = base % 64;
+        let mask = match p % 64 {
+            0 => u64::MAX,
+            bits => (1u64 << bits) - 1,
+        };
+        let table = &self.encode_table64[..8 * 256 * W];
+        for c in (0..chunks).rev() {
+            // The next 64 outgoing feedback bits (register bits p-64..p),
+            // XORed with the next eight data bytes.
+            let mut top = reg[word] >> offset;
+            if offset != 0 {
+                top |= reg[word + 1] << (64 - offset);
             }
-            let o = (top as u8) ^ byte;
-            // Shift the register left by 8, clearing bits >= p.
+            let o = top ^ read_u64_le(data, c * 8);
+            // Shift the register left by 64, clearing bits >= p.
+            for w in (1..W).rev() {
+                reg[w] = reg[w - 1];
+            }
+            reg[0] = 0;
+            reg[W - 1] &= mask;
+            // Fold the eight lane adjustments into the register. The
+            // `[..W]` reslice pins each entry's length at compile time so
+            // the inner XORs need no per-word bounds checks.
+            for k in 0..8 {
+                let b = ((o >> (8 * k)) & 0xFF) as usize;
+                let entry = &table[(k * 256 + b) * W..][..W];
+                for (r, &e) in reg.iter_mut().zip(entry) {
+                    *r ^= e;
+                }
+            }
+        }
+        reg
+    }
+
+    /// Word-at-a-time encode for uncommon register widths.
+    // sos-lint: allow(panic-path, "the register and lane tables are sized to r_words/8*256 at construction; chunk offsets are bounded by the length split")
+    fn encode_words_generic(&self, data: &[u8]) -> Vec<u64> {
+        let p = self.parity_bits();
+        let mut reg = vec![0u64; self.words];
+        let chunks = data.len() / 8;
+        for &byte in data[chunks * 8..].iter().rev() {
+            self.byte_step(&mut reg, byte);
+        }
+        let base = p - 64;
+        let word = base / 64;
+        let offset = base % 64;
+        let top_bits = p % 64;
+        for c in (0..chunks).rev() {
+            let mut top = reg[word] >> offset;
+            if offset != 0 {
+                top |= reg[word + 1] << (64 - offset);
+            }
+            let o = top ^ read_u64_le(data, c * 8);
             for w in (1..self.words).rev() {
-                reg[w] = (reg[w] << 8) | (reg[w - 1] >> 56);
+                reg[w] = reg[w - 1];
             }
-            reg[0] <<= 8;
-            let top_bits = p % 64;
+            reg[0] = 0;
             if top_bits != 0 {
                 let last = self.words - 1;
                 reg[last] &= (1u64 << top_bits) - 1;
             }
-            // Apply the table adjustment.
-            let entry = &self.encode_table[o as usize * self.words..(o as usize + 1) * self.words];
-            for (r, &e) in reg.iter_mut().zip(entry) {
-                *r ^= e;
+            for k in 0..8 {
+                let b = ((o >> (8 * k)) & 0xFF) as usize;
+                let entry = &self.encode_table64[(k * 256 + b) * self.words..][..self.words];
+                for (r, &e) in reg.iter_mut().zip(entry) {
+                    *r ^= e;
+                }
             }
         }
         reg
@@ -346,27 +544,78 @@ impl BchCode {
     ///
     /// Panics if the data exceeds the code dimension; chunking to fit is
     /// the caller's job (see [`crate::scheme`]).
-    // sos-lint: allow(panic-path, "parity assembly indexes a register sized to r_words at construction")
     pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let mut parity = Vec::with_capacity(self.parity_bytes());
+        self.encode_append(data, &mut parity);
+        parity
+    }
+
+    /// Encodes `data` and appends the parity bytes to `out` — the
+    /// allocation-free hot path the page codec assembles raw pages with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data exceeds the code dimension.
+    pub fn encode_append(&self, data: &[u8], out: &mut Vec<u8>) {
         let data_bits = data.len() * 8;
+        // sos-lint: allow(panic-path, "guards a configuration error: PageCodec::new sizes every payload to data_bytes() <= k/8 before the write path can reach this")
         assert!(
             data_bits <= self.k,
             "data ({data_bits} bits) exceeds code dimension k={}",
             self.k
         );
-        let reg = self.encode_register(data);
-        let mut parity = vec![0u8; self.parity_bytes()];
-        for i in 0..self.parity_bits() {
-            if reg_get(&reg, i) {
-                parity[i / 8] |= 1 << (i % 8);
+        let p = self.parity_bits();
+        if p >= 64 && !self.encode_table64.is_empty() {
+            match self.words {
+                4 => {
+                    let reg = self.encode_words_fixed::<4>(data);
+                    return self.append_parity(&reg, out);
+                }
+                9 => {
+                    let reg = self.encode_words_fixed::<9>(data);
+                    return self.append_parity(&reg, out);
+                }
+                _ => {
+                    let reg = self.encode_words_generic(data);
+                    return self.append_parity(&reg, out);
+                }
             }
         }
-        parity
+        let reg = self.encode_register(data);
+        self.append_parity(&reg, out);
     }
 
-    /// Syndrome vector `S_1..S_2t` of the received (data, parity) pair.
+    /// Serializes a parity register: LSB-first bit order makes parity
+    /// byte `i` exactly bits `8i..8i+8` of the register, i.e. byte
+    /// `i % 8` of word `i / 8`. (Register bits at and above `p` are kept
+    /// zero by the division masks, so the final partial byte is already
+    /// clean.)
+    // sos-lint: allow(panic-path, "parity bytes span p bits, which the register is sized to hold")
+    fn append_parity(&self, reg: &[u64], out: &mut Vec<u8>) {
+        for i in 0..self.parity_bytes() {
+            out.push((reg[i / 8] >> ((i % 8) * 8)) as u8);
+        }
+    }
+
+    /// Whether `parity` equals the re-encoded parity of `data` — i.e.
+    /// whether the received `(parity, data)` word is a valid codeword.
+    /// Same encoder dispatch as [`Self::encode_append`].
+    fn parity_matches(&self, data: &[u8], parity: &[u8]) -> bool {
+        let p = self.parity_bits();
+        if p >= 64 && !self.encode_table64.is_empty() {
+            return match self.words {
+                4 => register_matches(&self.encode_words_fixed::<4>(data), parity),
+                9 => register_matches(&self.encode_words_fixed::<9>(data), parity),
+                _ => register_matches(&self.encode_words_generic(data), parity),
+            };
+        }
+        register_matches(&self.encode_register(data), parity)
+    }
+
+    /// Reference syndrome vector `S_1..S_2t` via byte-Horner (oracle for
+    /// the word-wide pass).
     // sos-lint: allow(panic-path, "GF log/antilog tables cover the full field domain by construction")
-    fn syndromes(&self, data: &[u8], parity: &[u8]) -> Vec<u32> {
+    fn syndromes_bytes(&self, data: &[u8], parity: &[u8]) -> Vec<u32> {
         let gf = &self.gf;
         let count = 2 * self.t;
         let mut syndromes = vec![0u32; count];
@@ -387,6 +636,57 @@ impl BchCode {
             }
             value ^= pacc;
             *syndrome = value;
+        }
+        syndromes
+    }
+
+    /// One odd syndrome's Horner pass over a byte slice, eight bytes per
+    /// field multiplication: the lane tables pre-scale each byte's
+    /// contribution by `alpha^(8 k e)`, so a whole 64-bit word folds in
+    /// with a single multiply by `alpha^(64 e)`.
+    // sos-lint: allow(panic-path, "contrib/wcontrib tables are sized to 256 entries per (syndrome, lane) at construction; chunk offsets are bounded by the length split")
+    fn syndrome_pass(&self, oi: usize, bytes: &[u8]) -> u32 {
+        let gf = &self.gf;
+        let j = 2 * oi; // table index of syndrome e = 2 oi + 1
+        let table = &self.contrib[j * 256..(j + 1) * 256];
+        let s8 = self.step[j];
+        let s64 = self.wstep[oi];
+        let lanes = &self.wcontrib[oi * 8 * 256..(oi + 1) * 8 * 256];
+        let mut acc = 0u32;
+        let chunks = bytes.len() / 8;
+        for &byte in bytes[chunks * 8..].iter().rev() {
+            acc = gf.mul(acc, s8) ^ table[byte as usize];
+        }
+        for c in (0..chunks).rev() {
+            let w = read_u64_le(bytes, c * 8);
+            let mut x = 0u32;
+            for k in 0..8 {
+                x ^= lanes[k * 256 + ((w >> (8 * k)) & 0xFF) as usize];
+            }
+            acc = gf.mul(acc, s64) ^ x;
+        }
+        acc
+    }
+
+    /// Syndrome vector `S_1..S_2t`: odd syndromes via the word-wide
+    /// lane-table pass, even syndromes by squaring (`S_{2i} = S_i^2`
+    /// holds for any binary code).
+    // sos-lint: allow(panic-path, "syndrome and step vectors are sized to 2t/t entries at construction")
+    fn syndromes(&self, data: &[u8], parity: &[u8]) -> Vec<u32> {
+        if self.wcontrib.is_empty() {
+            return self.syndromes_bytes(data, parity);
+        }
+        let gf = &self.gf;
+        let count = 2 * self.t;
+        let mut syndromes = vec![0u32; count];
+        for e in 1..=count {
+            if e % 2 == 0 {
+                syndromes[e - 1] = gf.square(syndromes[e / 2 - 1]);
+            } else {
+                let oi = (e - 1) / 2;
+                let value = gf.mul(self.syndrome_pass(oi, data), self.pmul[e - 1]);
+                syndromes[e - 1] = value ^ self.syndrome_pass(oi, parity);
+            }
         }
         syndromes
     }
@@ -423,6 +723,16 @@ impl BchCode {
             let last = parity.len() - 1;
             parity[last] &= (1u8 << (p % 8)) - 1;
         }
+        // Fast accept for the overwhelmingly common clean read: the
+        // received word is a valid codeword (all 2t syndromes zero)
+        // exactly when its parity equals the re-encoded parity of its
+        // data portion — and the word-wide LFSR re-encode is several
+        // times cheaper than the 2t-lane syndrome pass. Any mismatch
+        // (including parity-byte corruption) falls through to the full
+        // decoder.
+        if self.parity_matches(data, parity) {
+            return Ok(0);
+        }
         let syndromes = self.syndromes(data, parity);
         if syndromes.iter().all(|&s| s == 0) {
             return Ok(0);
@@ -433,34 +743,109 @@ impl BchCode {
         if degree > self.t {
             return Err(BchError::Uncorrectable);
         }
-        // Chien search over used positions (shortened code: errors in the
-        // implicit zero region mean the syndrome was inconsistent).
-        let mut corrected = 0usize;
-        let mut roots = 0usize;
-        let gf_n = self.gf.n;
-        for pos in 0..self.n {
-            // Error at position pos iff locator(alpha^{-pos}) == 0.
-            let exponent = (gf_n - (pos as u32 % gf_n)) % gf_n;
-            let x = self.gf.alpha_pow(exponent);
-            if self.gf.poly_eval(&locator, x) == 0 {
-                roots += 1;
+        self.find_roots(&locator, used, data, parity)
+    }
+
+    /// Locates and flips the error positions of a degree-`d` locator
+    /// polynomial: closed forms for the overwhelmingly common single- and
+    /// double-error cases, Chien search over the used positions beyond.
+    ///
+    /// A degree-`d` polynomial has at most `d` roots in the field, so
+    /// scanning only `0..used` with an early exit at `d` roots decides
+    /// exactly the same accept/reject outcomes as a full-field sweep: any
+    /// root outside `0..used` (the shortened all-zero region) leaves the
+    /// in-range root count short of `d`, which is rejected either way.
+    // sos-lint: allow(panic-path, "locator coefficients are indexed below the degree bound checked above; qsolve spans the field by construction")
+    fn find_roots(
+        &self,
+        locator: &[u32],
+        used: usize,
+        data: &mut [u8],
+        parity: &mut [u8],
+    ) -> Result<usize, BchError> {
+        let gf = &self.gf;
+        let p = self.parity_bits();
+        let n = gf.n;
+        let degree = locator.len() - 1;
+        let flip = |pos: usize, data: &mut [u8], parity: &mut [u8]| {
+            if pos < p {
+                flip_bit(parity, pos);
+            } else {
+                flip_bit(data, pos - p);
+            }
+        };
+        match degree {
+            1 => {
+                // 1 + c1 x = 0 at x = 1/c1 = alpha^{-log c1}: the error
+                // position is log(c1) directly. (A trimmed locator keeps
+                // its leading coefficient non-zero, so the None arm is
+                // defensive.)
+                let pos = match gf.checked_log(locator[1]) {
+                    Some(log) => log as usize,
+                    None => return Err(BchError::Uncorrectable),
+                };
                 if pos >= used {
-                    // Located error in the shortened (all-zero) region:
-                    // the true error pattern exceeded t.
                     return Err(BchError::Uncorrectable);
                 }
-                if pos < p {
-                    flip_bit(parity, pos);
-                } else {
-                    flip_bit(data, pos - p);
+                flip(pos, data, parity);
+                Ok(1)
+            }
+            2 => {
+                // 1 + c1 x + c2 x^2: substituting x = (c1/c2) y gives
+                // y^2 + y = c2/c1^2, solved by table. c1 = 0 means a
+                // double root (x^2 = 1/c2), which a Chien sweep counts
+                // once — root count 1 != degree 2, i.e. uncorrectable.
+                let (c1, c2) = (locator[1], locator[2]);
+                if c1 == 0 {
+                    return Err(BchError::Uncorrectable);
                 }
-                corrected += 1;
+                let u = gf.div(c2, gf.square(c1));
+                let y = self.qsolve[u as usize];
+                if y == u32::MAX {
+                    // Trace 1: no roots in the field.
+                    return Err(BchError::Uncorrectable);
+                }
+                let ratio = gf.div(c1, c2);
+                let x1 = gf.mul(ratio, y);
+                let x2 = x1 ^ ratio; // the second root, (y + 1) c1/c2
+                                     // y^2 + y = u != 0 keeps y outside {0, 1}, so both roots
+                                     // are non-zero; the None arms are defensive.
+                let (log1, log2) = match (gf.checked_log(x1), gf.checked_log(x2)) {
+                    (Some(log1), Some(log2)) => (log1, log2),
+                    _ => return Err(BchError::Uncorrectable),
+                };
+                let pos1 = ((n - log1) % n) as usize;
+                let pos2 = ((n - log2) % n) as usize;
+                if pos1 >= used || pos2 >= used {
+                    return Err(BchError::Uncorrectable);
+                }
+                flip(pos1, data, parity);
+                flip(pos2, data, parity);
+                Ok(2)
+            }
+            _ => {
+                // Chien search over used positions (shortened code:
+                // errors in the implicit zero region mean the syndrome
+                // was inconsistent).
+                let mut roots = 0usize;
+                for pos in 0..used {
+                    // Error at position pos iff locator(alpha^{-pos}) == 0.
+                    let exponent = (n - (pos as u32 % n)) % n;
+                    let x = gf.alpha_pow(exponent);
+                    if gf.poly_eval(locator, x) == 0 {
+                        flip(pos, data, parity);
+                        roots += 1;
+                        if roots == degree {
+                            break;
+                        }
+                    }
+                }
+                if roots != degree {
+                    return Err(BchError::Uncorrectable);
+                }
+                Ok(roots)
             }
         }
-        if roots != degree {
-            return Err(BchError::Uncorrectable);
-        }
-        Ok(corrected)
     }
 
     /// Berlekamp–Massey over GF(2^m): returns the error locator
@@ -598,6 +983,103 @@ mod tests {
                 let slow = code.encode_bitwise(&data);
                 assert_eq!(fast, slow, "m={m} t={t} len={len}");
             }
+        }
+    }
+
+    #[test]
+    fn word_encoder_matches_byte_reference() {
+        let mut rng = StdRng::seed_from_u64(78);
+        for (m, t) in [(10u32, 4usize), (10, 8), (13, 18), (13, 40)] {
+            let code = BchCode::new(m, t);
+            // (10, 4) has p < 64 and exercises the fallback; the rest
+            // exercise the lane tables.
+            for len in [1usize, 7, 8, 9, 63, 64, 200, 512] {
+                let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                let word = code.encode_words(&data);
+                let byte = code.encode_register(&data);
+                assert_eq!(word, byte, "m={m} t={t} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_syndromes_match_byte_reference() {
+        let mut rng = StdRng::seed_from_u64(79);
+        for (m, t) in [(10u32, 4usize), (13, 18), (13, 40)] {
+            let code = BchCode::new(m, t);
+            for len in [1usize, 8, 31, 200, 512] {
+                let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                let parity: Vec<u8> = (0..code.parity_bytes()).map(|_| rng.gen()).collect();
+                let word = code.syndromes(&data, &parity);
+                let byte = code.syndromes_bytes(&data, &parity);
+                assert_eq!(word, byte, "m={m} t={t} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_match_agrees_with_zero_syndromes() {
+        // The decode fast path accepts exactly when all 2t syndromes are
+        // zero: clean words match, any corrupted word (data or parity,
+        // masked padding excluded) does not.
+        let mut rng = StdRng::seed_from_u64(81);
+        for (m, t) in [(10u32, 4usize), (13, 18), (13, 40)] {
+            let code = BchCode::new(m, t);
+            for len in [1usize, 64, 512].into_iter().filter(|&l| l * 8 <= code.k) {
+                let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                let parity = code.encode(&data);
+                assert!(code.parity_matches(&data, &parity), "m={m} t={t} len={len}");
+                assert!(
+                    code.syndromes(&data, &parity).iter().all(|&s| s == 0),
+                    "clean word must have zero syndromes"
+                );
+                for _ in 0..20 {
+                    let mut rdata = data.clone();
+                    let mut rparity = parity.clone();
+                    let pos = rng.gen_range(0..len * 8 + code.parity_bits());
+                    if pos < code.parity_bits() {
+                        flip(&mut rparity, pos);
+                    } else {
+                        flip(&mut rdata, pos - code.parity_bits());
+                    }
+                    let matches = code.parity_matches(&rdata, &rparity);
+                    let zero = code.syndromes(&rdata, &rparity).iter().all(|&s| s == 0);
+                    assert_eq!(matches, zero, "m={m} t={t} len={len} pos={pos}");
+                    assert!(!matches, "single flip must be detected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_roots_match_ground_truth_positions() {
+        // Every 1- and 2-error pattern in a small window, plus random
+        // wide patterns: the closed forms must locate exactly the
+        // flipped bits.
+        let code = BchCode::new(13, 18);
+        let data: Vec<u8> = (0..512).map(|i| (i * 89 + 3) as u8).collect();
+        let parity = code.encode(&data);
+        let total_bits = data.len() * 8 + code.parity_bits();
+        let mut rng = StdRng::seed_from_u64(80);
+        for _ in 0..200 {
+            let errors = rng.gen_range(1..=2);
+            let mut positions = std::collections::HashSet::new();
+            while positions.len() < errors {
+                positions.insert(rng.gen_range(0..total_bits));
+            }
+            let mut received = data.clone();
+            let mut rparity = parity.clone();
+            for &p in &positions {
+                if p < code.parity_bits() {
+                    flip(&mut rparity, p);
+                } else {
+                    flip(&mut received, p - code.parity_bits());
+                }
+            }
+            let corrected = code.decode(&mut received, &mut rparity).unwrap();
+            assert_eq!(corrected, errors);
+            assert_eq!(received, data);
+            assert_eq!(rparity, parity);
         }
     }
 

@@ -86,6 +86,13 @@ impl GaloisField {
         self.log[x as usize]
     }
 
+    /// Discrete log of `x`, or `None` for zero (which has no logarithm).
+    #[inline]
+    // sos-lint: allow(panic-path, "the zero case is screened before the lookup and the log table covers the full field domain")
+    pub fn checked_log(&self, x: u32) -> Option<u32> {
+        (x != 0).then(|| self.log[x as usize])
+    }
+
     /// Field addition (XOR).
     #[inline]
     pub fn add(&self, a: u32, b: u32) -> u32 {

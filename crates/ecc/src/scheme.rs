@@ -177,6 +177,10 @@ pub struct PageCodec {
     scheme: EccScheme,
     data_bytes: usize,
     spare_bytes: usize,
+    /// The chunk code for BCH-backed schemes, resolved once at
+    /// construction so per-page encode/decode skips the global cache
+    /// lock.
+    code: Option<Arc<BchCode>>,
 }
 
 impl PageCodec {
@@ -201,11 +205,25 @@ impl PageCodec {
                 return Err(CodecError::BadProtectedRange);
             }
         }
+        let code = match scheme {
+            EccScheme::Bch { t } | EccScheme::PrioritySplit { t, .. } => Some(bch_for(t)),
+            EccScheme::None | EccScheme::DetectOnly => None,
+        };
         Ok(PageCodec {
             scheme,
             data_bytes,
             spare_bytes,
+            code,
         })
+    }
+
+    /// The chunk code for correction strength `t`: the one cached at
+    /// construction, or (defensively) the global cache's.
+    fn code_for(&self, t: usize) -> Arc<BchCode> {
+        match &self.code {
+            Some(code) => Arc::clone(code),
+            None => bch_for(t),
+        }
     }
 
     /// The scheme in use.
@@ -245,19 +263,19 @@ impl PageCodec {
                 raw.extend_from_slice(&crc32(data).to_le_bytes());
             }
             EccScheme::Bch { t } => {
-                let code = bch_for(t);
+                let code = self.code_for(t);
                 for chunk in data.chunks(CHUNK_BYTES) {
-                    raw.extend_from_slice(&code.encode(chunk));
+                    code.encode_append(chunk, &mut raw);
                 }
             }
             EccScheme::PrioritySplit {
                 t,
                 protected_chunks,
             } => {
-                let code = bch_for(t);
+                let code = self.code_for(t);
                 let protected_end = (protected_chunks * CHUNK_BYTES).min(data.len());
                 for chunk in data[..protected_end].chunks(CHUNK_BYTES) {
-                    raw.extend_from_slice(&code.encode(chunk));
+                    code.encode_append(chunk, &mut raw);
                 }
                 raw.extend_from_slice(&crc32(&data[protected_end..]).to_le_bytes());
             }
@@ -306,7 +324,7 @@ impl PageCodec {
             EccScheme::None => PageStatus::Intact,
             EccScheme::DetectOnly => PageStatus::DegradedDetected, // dirty data bits exist
             EccScheme::Bch { t } => {
-                let code = bch_for(t);
+                let code = self.code_for(t);
                 let pb = code.parity_bytes();
                 let mut failed = false;
                 for (index, chunk) in data.chunks_mut(CHUNK_BYTES).enumerate() {
@@ -331,7 +349,7 @@ impl PageCodec {
                 t,
                 protected_chunks,
             } => {
-                let code = bch_for(t);
+                let code = self.code_for(t);
                 let pb = code.parity_bytes();
                 let protected_end = (protected_chunks * CHUNK_BYTES).min(data.len());
                 let mut failed = false;
@@ -394,7 +412,7 @@ impl PageCodec {
                 }
             }
             EccScheme::Bch { t } => {
-                let code = bch_for(t);
+                let code = self.code_for(t);
                 let pb = code.parity_bytes();
                 let mut failed = false;
                 let mut offset = 0;
@@ -417,7 +435,7 @@ impl PageCodec {
                 t,
                 protected_chunks,
             } => {
-                let code = bch_for(t);
+                let code = self.code_for(t);
                 let pb = code.parity_bytes();
                 let protected_end = (protected_chunks * CHUNK_BYTES).min(data.len());
                 let mut failed = false;

@@ -6,6 +6,7 @@
 //! according to each block's stress history. A simulated clock (in days)
 //! drives retention error growth; the FTL advances it.
 
+use crate::batch::ErrorBatcher;
 use crate::cell::CellState;
 use crate::config::DeviceConfig;
 use crate::density::{CellDensity, ProgramMode};
@@ -14,10 +15,10 @@ use crate::fault::{FaultInjector, FaultKind, FaultOp};
 use crate::geometry::{Geometry, PageAddr};
 use crate::oob::OobMeta;
 use crate::rbercache::RberCache;
+use crate::store::PageStore;
 use crate::timing::TimingModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Errors returned by flash operations.
 ///
@@ -106,7 +107,7 @@ impl std::fmt::Display for FlashError {
 impl std::error::Error for FlashError {}
 
 /// Result of a page read.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReadOutcome {
     /// Page contents (data + spare) with bit errors injected.
     pub data: Vec<u8>,
@@ -136,18 +137,26 @@ struct BlockState {
     /// retention age and page type, invalidated by the `(mode, pec)`
     /// epoch so erases and mode changes can never serve stale values.
     rber_cache: RberCache,
+    /// Batched error-count sampler: one Poisson draw covers a run of
+    /// reads sharing the block's static RBER (see `batch`).
+    batcher: ErrorBatcher,
 }
 
-/// Stored contents of a programmed page.
-#[derive(Debug, Clone)]
-struct PageData {
-    data: Box<[u8]>,
-    programmed_day: f64,
-    /// Sidecar OOB metadata, written atomically with the data.
-    oob: Option<OobMeta>,
-    /// Program interrupted by a power cut; data is scrambled and the
-    /// OOB CRC is invalid.
-    torn: bool,
+/// How read error counts are drawn.
+///
+/// Both strategies produce identically distributed error counts; they
+/// consume the RNG stream differently, so sampled trajectories diverge
+/// draw by draw. The per-page path is the oracle the batched path is
+/// property-tested against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorSampling {
+    /// One `Poisson`/binomial draw per page read (the naive oracle).
+    PerPage,
+    /// One draw per (block, retention-epoch) batch, split across reads
+    /// by Poisson thinning; falls back to per-page draws outside the
+    /// batcher's envelope (large means, RBER near the clamp).
+    #[default]
+    Batched,
 }
 
 /// Cumulative operation counters.
@@ -175,7 +184,7 @@ pub struct DeviceStats {
 /// [`FlashDevice::snapshot_blocks`] so external auditors can check NAND
 /// discipline (erase-before-program, in-order writes) without reaching
 /// into the simulator's private fields.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockSnapshot {
     /// Flat index of the block.
     pub block: u64,
@@ -207,15 +216,30 @@ pub struct FlashDevice {
     rng: StdRng,
     now_days: f64,
     blocks: Vec<BlockState>,
-    pages: HashMap<u64, PageData>,
+    store: PageStore,
     stats: DeviceStats,
     injector: Option<FaultInjector>,
     powered_off: bool,
+    sampling: ErrorSampling,
 }
 
 impl FlashDevice {
     /// Builds a device from a configuration.
     pub fn new(config: &DeviceConfig) -> Self {
+        Self::with_store(config, PageStore::dense(&config.geometry))
+    }
+
+    /// Builds a device on the legacy per-page map backend.
+    ///
+    /// The legacy store is the shadow-model oracle: for identical
+    /// operation sequences it must behave bit-identically to the dense
+    /// struct-of-arrays backend that [`FlashDevice::new`] uses. Only
+    /// tests should need this.
+    pub fn new_with_legacy_store(config: &DeviceConfig) -> Self {
+        Self::with_store(config, PageStore::legacy(&config.geometry))
+    }
+
+    fn with_store(config: &DeviceConfig, store: PageStore) -> Self {
         let mode = ProgramMode::native(config.physical_density);
         let blocks = (0..config.geometry.total_blocks())
             .map(|_| BlockState {
@@ -225,6 +249,7 @@ impl FlashDevice {
                 next_page: 0,
                 reads_since_program: 0,
                 rber_cache: RberCache::new(),
+                batcher: ErrorBatcher::default(),
             })
             .collect();
         FlashDevice {
@@ -235,11 +260,24 @@ impl FlashDevice {
             rng: StdRng::seed_from_u64(config.seed),
             now_days: 0.0,
             blocks,
-            pages: HashMap::new(),
+            store,
             stats: DeviceStats::default(),
             injector: None,
             powered_off: false,
+            sampling: ErrorSampling::default(),
         }
+    }
+
+    /// Selects how read error counts are drawn. The per-page mode is the
+    /// oracle for distribution-equivalence tests; batched is the default
+    /// hot path.
+    pub fn set_error_sampling(&mut self, sampling: ErrorSampling) {
+        self.sampling = sampling;
+    }
+
+    /// The active error-count sampling strategy.
+    pub fn error_sampling(&self) -> ErrorSampling {
+        self.sampling
     }
 
     /// Attaches a deterministic fault injector. Replaces any injector
@@ -399,7 +437,6 @@ impl FlashDevice {
             }
         }
         let fault = self.fault_for(FaultOp::Erase);
-        let pages_per_block = self.geometry.pages_per_block as u64;
         let state = self
             .blocks
             .get_mut(block as usize)
@@ -411,20 +448,14 @@ impl FlashDevice {
                 state.pec = state.pec.saturating_add(1);
                 state.next_page = 0;
                 state.reads_since_program = 0;
-                let base = block * pages_per_block;
-                for page in 0..pages_per_block {
-                    self.pages.remove(&(base + page));
-                }
+                self.store.clear_block(block);
                 self.powered_off = true;
                 return Err(FlashError::PowerLoss);
             }
             Some(FaultKind::FailErase) => {
                 state.pec = state.pec.saturating_add(1);
                 state.bad = true;
-                let base = block * pages_per_block;
-                for page in 0..pages_per_block {
-                    self.pages.remove(&(base + page));
-                }
+                self.store.clear_block(block);
                 self.stats.erases += 1;
                 return Err(FlashError::EraseFailed(block));
             }
@@ -443,17 +474,11 @@ impl FlashDevice {
         if self.rng.gen_bool(p_fail) {
             state.bad = true;
             // Drop any residual page data for the block.
-            let base = block * pages_per_block;
-            for page in 0..pages_per_block {
-                self.pages.remove(&(base + page));
-            }
+            self.store.clear_block(block);
             return Err(FlashError::EraseFailed(block));
         }
         // Erase destroys all page contents.
-        let base = block * pages_per_block;
-        for page in 0..pages_per_block {
-            self.pages.remove(&(base + page));
-        }
+        self.store.clear_block(block);
         Ok(latency)
     }
 
@@ -512,7 +537,6 @@ impl FlashDevice {
         }
         let fault = self.fault_for(FaultOp::Program);
         let now = self.now_days;
-        let index = block * pages_per_block as u64 + addr.page as u64;
         match fault {
             Some(FaultKind::PowerCut) => {
                 // Mid-program power cut: the page occupies its slot but
@@ -530,15 +554,8 @@ impl FlashDevice {
                 state.next_page += 1;
                 state.reads_since_program = 0;
                 self.stats.programs += 1;
-                self.pages.insert(
-                    index,
-                    PageData {
-                        data: torn.into(),
-                        programmed_day: now,
-                        oob: oob.map(OobMeta::torn),
-                        torn: true,
-                    },
-                );
+                self.store
+                    .program(block, addr.page, &torn, now, oob.map(OobMeta::torn), true);
                 self.powered_off = true;
                 return Err(FlashError::PowerLoss);
             }
@@ -570,15 +587,7 @@ impl FlashDevice {
             self.timing.latencies(state.mode).program_us + self.timing.transfer_us(data.len());
         self.stats.programs += 1;
         self.stats.busy_us += latency;
-        self.pages.insert(
-            index,
-            PageData {
-                data: data.into(),
-                programmed_day: now,
-                oob,
-                torn: false,
-            },
-        );
+        self.store.program(block, addr.page, data, now, oob, false);
         Ok(latency)
     }
 
@@ -604,8 +613,8 @@ impl FlashDevice {
         let index = block * self.geometry.pages_per_block as u64 + addr.page as u64;
         self.stats.oob_reads += 1;
         let page = self
-            .pages
-            .get(&index)
+            .store
+            .view(block, addr.page)
             .ok_or(FlashError::PageNotProgrammed(index))?;
         Ok(page.oob)
     }
@@ -638,8 +647,8 @@ impl FlashDevice {
         let reads = state.reads_since_program;
         let pec = state.pec;
         let page = self
-            .pages
-            .get(&index)
+            .store
+            .view(block, addr.page)
             .ok_or(FlashError::PageNotProgrammed(index))?;
         if page.torn {
             self.stats.reads += 1;
@@ -671,9 +680,31 @@ impl FlashDevice {
         } else {
             self.stats.rber_cache_misses += 1;
         }
-        let rber = (static_rber * model.disturb_multiplier(reads)).min(0.5);
+        let multiplier = model.disturb_multiplier(reads);
+        let rber = (static_rber * multiplier).min(0.5);
         let nbits = data.len() * 8;
-        let mut count = ErrorModel::sample_error_count(&mut self.rng, nbits, rber);
+        // Batched sampling: one Poisson draw covers a run of reads
+        // sharing this block's static RBER; the batcher declines (and we
+        // fall back to the per-page draw) outside its exactness envelope.
+        let batched = if self.sampling == ErrorSampling::Batched {
+            self.blocks.get_mut(block as usize).and_then(|state| {
+                state.batcher.sample(
+                    &mut self.rng,
+                    cell_state_mode,
+                    pec,
+                    static_rber,
+                    multiplier,
+                    reads,
+                    nbits,
+                )
+            })
+        } else {
+            None
+        };
+        let mut count = match batched {
+            Some(c) => c.min(nbits),
+            None => ErrorModel::sample_error_count(&mut self.rng, nbits, rber),
+        };
         let mut positions = ErrorModel::inject_errors(&mut self.rng, &mut data, count);
         if let Some(FaultKind::ReadNoise { bits }) = fault {
             if let Some(inj) = self.injector.as_mut() {
@@ -703,15 +734,9 @@ impl FlashDevice {
         if state.bad {
             return Err(FlashError::BadBlock(block));
         }
-        let base = block * self.geometry.pages_per_block as u64;
-        let oldest = (0..self.geometry.pages_per_block as u64)
-            .filter_map(|p| self.pages.get(&(base + p)))
-            .map(|p| p.programmed_day)
-            .fold(f64::INFINITY, f64::min);
-        let retention_days = if oldest.is_finite() {
-            (self.now_days - oldest).max(0.0)
-        } else {
-            0.0
+        let retention_days = match self.store.oldest_day(block, self.geometry.pages_per_block) {
+            Some(oldest) => (self.now_days - oldest).max(0.0),
+            None => 0.0,
         };
         Ok(self.error_model.rber(
             state.mode,
@@ -725,16 +750,12 @@ impl FlashDevice {
 
     /// Marks a block bad explicitly (FTL retirement decision).
     pub fn mark_bad(&mut self, block: u64) -> Result<(), FlashError> {
-        let pages_per_block = self.geometry.pages_per_block as u64;
         let state = self
             .blocks
             .get_mut(block as usize)
             .ok_or(FlashError::InvalidAddress)?;
         state.bad = true;
-        let base = block * pages_per_block;
-        for page in 0..pages_per_block {
-            self.pages.remove(&(base + page));
-        }
+        self.store.clear_block(block);
         Ok(())
     }
 
@@ -756,17 +777,8 @@ impl FlashDevice {
             .enumerate()
             .map(|(index, state)| {
                 let block = index as u64;
-                let base = block * pages_per_block as u64;
-                let programmed = (0..pages_per_block)
-                    .filter(|&p| self.pages.contains_key(&(base + p as u64)))
-                    .collect();
-                let torn = (0..pages_per_block)
-                    .filter(|&p| {
-                        self.pages
-                            .get(&(base + p as u64))
-                            .is_some_and(|page| page.torn)
-                    })
-                    .collect();
+                let programmed = self.store.programmed_pages(block, pages_per_block);
+                let torn = self.store.torn_pages(block, pages_per_block);
                 BlockSnapshot {
                     block,
                     mode: state.mode,

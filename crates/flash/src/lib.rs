@@ -25,6 +25,7 @@
 //! The entry point is [`device::FlashDevice`]; presets for realistic
 //! devices live in [`config`].
 
+pub(crate) mod batch;
 pub mod cell;
 pub mod config;
 pub mod density;
@@ -34,12 +35,13 @@ pub mod fault;
 pub mod geometry;
 pub mod oob;
 pub mod rbercache;
+pub(crate) mod store;
 pub mod timing;
 
 pub use cell::CellState;
 pub use config::DeviceConfig;
 pub use density::{CellDensity, ProgramMode};
-pub use device::{BlockSnapshot, FlashDevice, FlashError, ReadOutcome};
+pub use device::{BlockSnapshot, ErrorSampling, FlashDevice, FlashError, ReadOutcome};
 pub use errors::ErrorModel;
 pub use fault::{FaultAt, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRecord};
 pub use geometry::{BlockAddr, Geometry, PageAddr};

@@ -1,0 +1,443 @@
+//! Page-store backends: struct-of-arrays (production) and the legacy
+//! per-page map (shadow-model oracle).
+//!
+//! The simulator's hot loops touch page state on every program, read and
+//! erase. The dense backend keeps that state as struct-of-arrays —
+//! packed `programmed`/`torn` bitmaps, contiguous per-page
+//! day/lpn/seq/stream/kind/crc arrays, and pooled per-block data buffers
+//! indexed by slot — so the common operations are bit tests and flat
+//! array indexing instead of hash probes and per-page heap boxes. The
+//! legacy `HashMap` backend is retained verbatim as the oracle for the
+//! shadow-model proptests: both backends must produce bit-identical
+//! device behaviour for identical operation sequences.
+
+use crate::geometry::Geometry;
+use crate::oob::OobMeta;
+use crate::oob::PageKind;
+use std::collections::HashMap;
+
+/// A read-only view of one programmed page, borrowed from the store.
+#[derive(Debug)]
+pub(crate) struct PageView<'a> {
+    /// Stored contents (data + spare).
+    pub data: &'a [u8],
+    /// Simulated day the page was programmed.
+    pub programmed_day: f64,
+    /// Sidecar OOB metadata, if programmed with any.
+    pub oob: Option<OobMeta>,
+    /// Program interrupted by a power cut.
+    pub torn: bool,
+}
+
+/// Stored contents of a programmed page (legacy backend).
+#[derive(Debug, Clone)]
+struct PageData {
+    data: Box<[u8]>,
+    programmed_day: f64,
+    oob: Option<OobMeta>,
+    torn: bool,
+}
+
+/// Legacy per-page map backend: one heap allocation per programmed page,
+/// keyed by flat page index. Kept as the shadow-model oracle.
+#[derive(Debug, Default)]
+pub(crate) struct LegacyStore {
+    pages_per_block: u64,
+    pages: HashMap<u64, PageData>,
+}
+
+impl LegacyStore {
+    fn new(geometry: &Geometry) -> Self {
+        LegacyStore {
+            pages_per_block: geometry.pages_per_block as u64,
+            pages: HashMap::new(),
+        }
+    }
+
+    fn index(&self, block: u64, page: u32) -> u64 {
+        block * self.pages_per_block + page as u64
+    }
+}
+
+/// Struct-of-arrays backend.
+///
+/// Per-page metadata lives in flat arrays indexed by
+/// `block * pages_per_block + page`; page membership is a packed bitmap;
+/// page contents live in per-block buffers handed out from a reuse pool
+/// (a fresh simulated device would otherwise eagerly commit hundreds of
+/// megabytes for the larger geometries).
+#[derive(Debug)]
+pub(crate) struct DenseStore {
+    pages_per_block: usize,
+    /// Full page size (data + spare), bytes.
+    page_bytes: usize,
+    /// Bitmap words per block.
+    bitmap_words: usize,
+    /// Packed per-block `programmed` bitmaps, `bitmap_words` per block.
+    programmed: Vec<u64>,
+    /// Packed per-block `torn` bitmaps (subset of `programmed`).
+    torn: Vec<u64>,
+    /// Packed per-page "has OOB metadata" bitmaps.
+    has_oob: Vec<u64>,
+    /// Per-page program day.
+    day: Vec<f64>,
+    /// Per-page OOB fields, decomposed struct-of-arrays.
+    lpn: Vec<u64>,
+    seq: Vec<u64>,
+    stream: Vec<u8>,
+    /// 0 = data, 1 = checkpoint (mirrors [`PageKind`]).
+    kind: Vec<u8>,
+    crc: Vec<u32>,
+    /// Per-block data-buffer slot into `pool`, `u32::MAX` when the block
+    /// holds no data buffer.
+    slot: Vec<u32>,
+    /// Block-sized data buffers (`pages_per_block * page_bytes` each).
+    pool: Vec<Box<[u8]>>,
+    /// Slots in `pool` not currently attached to a block.
+    free_slots: Vec<u32>,
+}
+
+/// Sentinel for "block has no pooled data buffer".
+const NO_SLOT: u32 = u32::MAX;
+
+impl DenseStore {
+    // sos-lint: allow(panic-path, "all vectors are allocated to the geometry's page count before use")
+    fn new(geometry: &Geometry) -> Self {
+        let blocks = geometry.total_blocks() as usize;
+        let pages_per_block = geometry.pages_per_block as usize;
+        let total_pages = blocks * pages_per_block;
+        let bitmap_words = pages_per_block.div_ceil(64);
+        DenseStore {
+            pages_per_block,
+            page_bytes: (geometry.page_bytes + geometry.spare_bytes) as usize,
+            bitmap_words,
+            programmed: vec![0; blocks * bitmap_words],
+            torn: vec![0; blocks * bitmap_words],
+            has_oob: vec![0; blocks * bitmap_words],
+            day: vec![0.0; total_pages],
+            lpn: vec![0; total_pages],
+            seq: vec![0; total_pages],
+            stream: vec![0; total_pages],
+            kind: vec![0; total_pages],
+            crc: vec![0; total_pages],
+            slot: vec![NO_SLOT; blocks],
+            pool: Vec::new(),
+            free_slots: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn page_index(&self, block: u64, page: u32) -> usize {
+        block as usize * self.pages_per_block + page as usize
+    }
+
+    #[inline]
+    // sos-lint: allow(panic-path, "bitmaps are allocated to the geometry's block count; the device validates addresses first")
+    fn bit(&self, map: &[u64], block: u64, page: u32) -> bool {
+        let word = block as usize * self.bitmap_words + page as usize / 64;
+        map[word] & (1u64 << (page % 64)) != 0
+    }
+
+    /// Ensures the block has a data buffer, returning its pool slot.
+    // sos-lint: allow(panic-path, "the slot vector is allocated to the block count; pool slots are recorded at push")
+    fn ensure_slot(&mut self, block: u64) -> usize {
+        let current = self.slot[block as usize];
+        if current != NO_SLOT {
+            return current as usize;
+        }
+        let slot = match self.free_slots.pop() {
+            Some(free) => free,
+            None => {
+                let buffer = vec![0u8; self.pages_per_block * self.page_bytes].into_boxed_slice();
+                self.pool.push(buffer);
+                // The pool never outgrows the block count, which the
+                // geometry bounds well below u32::MAX.
+                u32::try_from(self.pool.len() - 1).unwrap_or(NO_SLOT)
+            }
+        };
+        self.slot[block as usize] = slot;
+        slot as usize
+    }
+}
+
+/// The device's page store: dense struct-of-arrays in production, the
+/// legacy per-page map when constructed as a shadow-model oracle.
+// One instance per device, so the Dense/Legacy size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub(crate) enum PageStore {
+    /// Struct-of-arrays backend (production).
+    Dense(DenseStore),
+    /// Per-page `HashMap` backend (shadow-model oracle).
+    Legacy(LegacyStore),
+}
+
+impl PageStore {
+    pub(crate) fn dense(geometry: &Geometry) -> Self {
+        PageStore::Dense(DenseStore::new(geometry))
+    }
+
+    pub(crate) fn legacy(geometry: &Geometry) -> Self {
+        PageStore::Legacy(LegacyStore::new(geometry))
+    }
+
+    /// Records a page program: contents, program day, OOB sidecar and
+    /// torn flag, atomically.
+    // sos-lint: allow(panic-path, "the device validates the address against the geometry before touching the store")
+    pub(crate) fn program(
+        &mut self,
+        block: u64,
+        page: u32,
+        data: &[u8],
+        day: f64,
+        oob: Option<OobMeta>,
+        torn: bool,
+    ) {
+        match self {
+            PageStore::Legacy(store) => {
+                let index = store.index(block, page);
+                store.pages.insert(
+                    index,
+                    PageData {
+                        data: data.into(),
+                        programmed_day: day,
+                        oob,
+                        torn,
+                    },
+                );
+            }
+            PageStore::Dense(store) => {
+                let slot = store.ensure_slot(block);
+                let offset = page as usize * store.page_bytes;
+                store.pool[slot][offset..offset + data.len()].copy_from_slice(data);
+                let index = store.page_index(block, page);
+                store.day[index] = day;
+                let word = block as usize * store.bitmap_words + page as usize / 64;
+                let mask = 1u64 << (page % 64);
+                store.programmed[word] |= mask;
+                if torn {
+                    store.torn[word] |= mask;
+                } else {
+                    store.torn[word] &= !mask;
+                }
+                match oob {
+                    Some(meta) => {
+                        store.has_oob[word] |= mask;
+                        store.lpn[index] = meta.lpn;
+                        store.seq[index] = meta.seq;
+                        store.stream[index] = meta.stream;
+                        store.kind[index] = match meta.kind {
+                            PageKind::Data => 0,
+                            PageKind::Checkpoint => 1,
+                        };
+                        store.crc[index] = meta.crc;
+                    }
+                    None => {
+                        store.has_oob[word] &= !mask;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A view of a programmed page, or `None` when the page holds no
+    /// data since the last erase.
+    // sos-lint: allow(panic-path, "the device validates the address against the geometry before touching the store")
+    pub(crate) fn view(&self, block: u64, page: u32) -> Option<PageView<'_>> {
+        match self {
+            PageStore::Legacy(store) => {
+                let index = store.index(block, page);
+                store.pages.get(&index).map(|p| PageView {
+                    data: &p.data,
+                    programmed_day: p.programmed_day,
+                    oob: p.oob,
+                    torn: p.torn,
+                })
+            }
+            PageStore::Dense(store) => {
+                if !store.bit(&store.programmed, block, page) {
+                    return None;
+                }
+                let index = store.page_index(block, page);
+                let slot = store.slot[block as usize] as usize;
+                let offset = page as usize * store.page_bytes;
+                let oob = store.bit(&store.has_oob, block, page).then(|| OobMeta {
+                    lpn: store.lpn[index],
+                    seq: store.seq[index],
+                    stream: store.stream[index],
+                    kind: if store.kind[index] == 0 {
+                        PageKind::Data
+                    } else {
+                        PageKind::Checkpoint
+                    },
+                    crc: store.crc[index],
+                });
+                Some(PageView {
+                    data: &store.pool[slot][offset..offset + store.page_bytes],
+                    programmed_day: store.day[index],
+                    oob,
+                    torn: store.bit(&store.torn, block, page),
+                })
+            }
+        }
+    }
+
+    /// Drops every page of a block (erase, erase failure, retirement),
+    /// returning the block's data buffer to the pool.
+    // sos-lint: allow(panic-path, "the device validates the address against the geometry before touching the store")
+    pub(crate) fn clear_block(&mut self, block: u64) {
+        match self {
+            PageStore::Legacy(store) => {
+                let base = block * store.pages_per_block;
+                for page in 0..store.pages_per_block {
+                    store.pages.remove(&(base + page));
+                }
+            }
+            PageStore::Dense(store) => {
+                let word = block as usize * store.bitmap_words;
+                for w in 0..store.bitmap_words {
+                    store.programmed[word + w] = 0;
+                    store.torn[word + w] = 0;
+                    store.has_oob[word + w] = 0;
+                }
+                let slot = store.slot[block as usize];
+                if slot != NO_SLOT {
+                    store.slot[block as usize] = NO_SLOT;
+                    store.free_slots.push(slot);
+                }
+            }
+        }
+    }
+
+    /// Page indices of a block currently holding programmed data, in
+    /// ascending order.
+    pub(crate) fn programmed_pages(&self, block: u64, pages_per_block: u32) -> Vec<u32> {
+        (0..pages_per_block)
+            .filter(|&p| self.view(block, p).is_some())
+            .collect()
+    }
+
+    /// Page indices of a block holding torn pages, in ascending order.
+    pub(crate) fn torn_pages(&self, block: u64, pages_per_block: u32) -> Vec<u32> {
+        (0..pages_per_block)
+            .filter(|&p| self.view(block, p).is_some_and(|v| v.torn))
+            .collect()
+    }
+
+    /// The earliest program day among a block's resident pages.
+    pub(crate) fn oldest_day(&self, block: u64, pages_per_block: u32) -> Option<f64> {
+        let oldest = (0..pages_per_block)
+            .filter_map(|p| self.view(block, p).map(|v| v.programmed_day))
+            .fold(f64::INFINITY, f64::min);
+        oldest.is_finite().then_some(oldest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+
+    fn geo() -> Geometry {
+        Geometry {
+            channels: 1,
+            dies_per_channel: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 4,
+            pages_per_block: 8,
+            page_bytes: 32,
+            spare_bytes: 4,
+        }
+    }
+
+    fn stores() -> [PageStore; 2] {
+        [PageStore::dense(&geo()), PageStore::legacy(&geo())]
+    }
+
+    #[test]
+    fn program_view_roundtrip_matches_across_backends() {
+        for mut store in stores() {
+            let data = vec![0xABu8; 36];
+            let meta = OobMeta::data(7, 3, 1);
+            store.program(2, 5, &data, 1.5, Some(meta), false);
+            let view = store.view(2, 5).expect("programmed page");
+            assert_eq!(view.data, &data[..]);
+            assert_eq!(view.programmed_day, 1.5);
+            assert_eq!(view.oob, Some(meta));
+            assert!(!view.torn);
+            assert!(store.view(2, 4).is_none());
+            assert!(store.view(1, 5).is_none());
+        }
+    }
+
+    #[test]
+    fn torn_and_oob_less_pages_roundtrip() {
+        for mut store in stores() {
+            let data = vec![1u8; 36];
+            store.program(0, 0, &data, 0.0, None, true);
+            let view = store.view(0, 0).unwrap();
+            assert!(view.torn);
+            assert_eq!(view.oob, None);
+            // Reprogramming the slot clears the torn flag.
+            store.program(0, 0, &data, 0.0, Some(OobMeta::data(1, 1, 0)), false);
+            assert!(!store.view(0, 0).unwrap().torn);
+        }
+    }
+
+    #[test]
+    fn torn_oob_crc_survives_the_store() {
+        // The corrupted CRC of a torn OOB record must roundtrip verbatim.
+        for mut store in stores() {
+            let data = vec![2u8; 36];
+            let torn_meta = OobMeta::data(9, 9, 2).torn();
+            store.program(1, 1, &data, 0.25, Some(torn_meta), true);
+            let view = store.view(1, 1).unwrap();
+            assert_eq!(view.oob, Some(torn_meta));
+            assert!(!view.oob.unwrap().is_valid());
+        }
+    }
+
+    #[test]
+    fn clear_block_drops_only_that_block() {
+        for mut store in stores() {
+            let data = vec![3u8; 36];
+            store.program(0, 0, &data, 0.0, None, false);
+            store.program(1, 0, &data, 0.0, None, false);
+            store.clear_block(0);
+            assert!(store.view(0, 0).is_none());
+            assert!(store.view(1, 0).is_some());
+        }
+    }
+
+    #[test]
+    fn dense_buffer_pool_reuses_freed_slots() {
+        let mut store = PageStore::dense(&geo());
+        let data = vec![4u8; 36];
+        store.program(0, 0, &data, 0.0, None, false);
+        store.program(1, 0, &data, 0.0, None, false);
+        store.clear_block(0);
+        store.program(2, 0, &data, 0.0, None, false);
+        if let PageStore::Dense(dense) = &store {
+            assert_eq!(dense.pool.len(), 2, "freed slot must be reused");
+        }
+        // Reused buffers must not leak stale contents into fresh pages.
+        let fresh = vec![5u8; 36];
+        store.program(2, 1, &fresh, 0.0, None, false);
+        assert_eq!(store.view(2, 1).unwrap().data, &fresh[..]);
+        assert!(store.view(2, 2).is_none());
+    }
+
+    #[test]
+    fn scan_helpers_agree_across_backends() {
+        for mut store in stores() {
+            let data = vec![6u8; 36];
+            store.program(3, 0, &data, 2.0, None, false);
+            store.program(3, 1, &data, 1.0, None, true);
+            store.program(3, 2, &data, 3.0, None, false);
+            assert_eq!(store.programmed_pages(3, 8), vec![0, 1, 2]);
+            assert_eq!(store.torn_pages(3, 8), vec![1]);
+            assert_eq!(store.oldest_day(3, 8), Some(1.0));
+            assert_eq!(store.oldest_day(2, 8), None);
+        }
+    }
+}

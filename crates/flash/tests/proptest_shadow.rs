@@ -1,0 +1,204 @@
+//! Shadow-model property tests for the struct-of-arrays device state
+//! and the block-batched error sampler.
+//!
+//! Two oracles, two properties:
+//!
+//! * **Backend shadow** — the dense struct-of-arrays page store
+//!   ([`FlashDevice::new`]) against the legacy per-page map
+//!   ([`FlashDevice::new_with_legacy_store`]). For identical operation
+//!   sequences — programs, reads, erases, re-modes, retention aging,
+//!   power cuts and power cycles — every observable (read payloads,
+//!   injected error counts and positions, latencies, error returns,
+//!   cumulative stats, block snapshots) must be **bit-identical**. The
+//!   backends share one RNG discipline, so this is exact equality, not
+//!   distribution matching.
+//! * **Sampler distribution** — batched Poisson-split error injection
+//!   against the per-page oracle. The two draw from the RNG stream
+//!   differently, so trajectories legitimately diverge read by read;
+//!   what must agree is the error-count *distribution*. A fixed seed
+//!   grid keeps the statistical check deterministic.
+
+use proptest::prelude::*;
+use sos_flash::{
+    CellDensity, DeviceConfig, ErrorSampling, FaultAt, FaultInjector, FaultKind, FaultPlan,
+    FlashDevice, PageAddr, ProgramMode,
+};
+
+/// Operations the shadow pair replays. Block indices are taken modulo a
+/// small window so programs, erases and reads collide often.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Program the next in-order page of a block (skipped when full).
+    Program { block: u64, byte: u8 },
+    /// Read one already-programmed page of a block (skipped when empty).
+    Read { block: u64, page_hint: u32 },
+    /// Erase a block (whatever state it is in).
+    Erase { block: u64 },
+    /// Let retention age accrue.
+    Advance { tenths: u16 },
+    /// Re-mode an erased block to pseudo-SLC (errors when not erased —
+    /// the error must match across backends too).
+    RemodeSlc { block: u64 },
+    /// Recover from a power cut (no-op when powered).
+    PowerCycle,
+}
+
+const BLOCKS: u64 = 6;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Program/read arms are repeated so they dominate (the vendored
+    // proptest has no weighted oneof): blocks fill and reads have
+    // targets, with occasional erases, aging, re-modes and cycles.
+    prop_oneof![
+        (0u64..BLOCKS, any::<u8>()).prop_map(|(block, byte)| Op::Program { block, byte }),
+        (0u64..BLOCKS, any::<u8>()).prop_map(|(block, byte)| Op::Program { block, byte }),
+        (0u64..BLOCKS, any::<u8>()).prop_map(|(block, byte)| Op::Program { block, byte }),
+        (0u64..BLOCKS, any::<u32>()).prop_map(|(block, page_hint)| Op::Read { block, page_hint }),
+        (0u64..BLOCKS, any::<u32>()).prop_map(|(block, page_hint)| Op::Read { block, page_hint }),
+        (0u64..BLOCKS, any::<u32>()).prop_map(|(block, page_hint)| Op::Read { block, page_hint }),
+        (0u64..BLOCKS).prop_map(|block| Op::Erase { block }),
+        (1u16..200).prop_map(|tenths| Op::Advance { tenths }),
+        (0u64..BLOCKS).prop_map(|block| Op::RemodeSlc { block }),
+        Just(Op::PowerCycle),
+    ]
+}
+
+fn addr(device: &FlashDevice, block: u64, page: u32) -> PageAddr {
+    PageAddr {
+        block: device.geometry().block_addr(block),
+        page,
+    }
+}
+
+/// Replays one op on a device, returning a comparable trace record.
+/// Payload bytes ride in [`Op::Program`]; page length comes from the
+/// device so both backends build identical buffers.
+fn apply(device: &mut FlashDevice, op: &Op) -> String {
+    match op {
+        Op::Program { block, byte } => {
+            let Ok(Some(page)) = device.next_free_page(*block) else {
+                return "program: skipped (full/bad)".into();
+            };
+            let data = vec![*byte; device.page_total_bytes()];
+            format!(
+                "program: {:?}",
+                device.program(addr(device, *block, page), &data)
+            )
+        }
+        Op::Read { block, page_hint } => {
+            let programmed = match device.next_free_page(*block) {
+                Ok(Some(next)) => next,
+                Ok(None) => device.usable_pages(*block).unwrap_or(0),
+                Err(_) => 0,
+            };
+            if programmed == 0 {
+                return "read: skipped (empty)".into();
+            }
+            let page = page_hint % programmed;
+            format!("read: {:?}", device.read(addr(device, *block, page)))
+        }
+        Op::Erase { block } => format!("erase: {:?}", device.erase(*block)),
+        Op::Advance { tenths } => {
+            device.advance_days(f64::from(*tenths) / 10.0);
+            "advance".into()
+        }
+        Op::RemodeSlc { block } => {
+            let mode = ProgramMode::pseudo(CellDensity::Plc, CellDensity::Slc);
+            format!("remode: {:?}", device.set_block_mode(*block, mode))
+        }
+        Op::PowerCycle => {
+            device.power_cycle();
+            "power-cycle".into()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dense vs legacy page store: identical op sequences (including a
+    /// power cut landing mid-sequence) must produce identical traces,
+    /// stats and final block snapshots, under either sampling strategy.
+    #[test]
+    fn dense_and_legacy_backends_are_bit_identical(
+        ops in proptest::collection::vec(op_strategy(), 10..120),
+        seed in any::<u64>(),
+        cut_at in 1u64..600,
+        batched in any::<bool>(),
+    ) {
+        let config = DeviceConfig::tiny(CellDensity::Plc).with_seed(seed);
+        let mut dense = FlashDevice::new(&config);
+        let mut legacy = FlashDevice::new_with_legacy_store(&config);
+        let sampling = if batched { ErrorSampling::Batched } else { ErrorSampling::PerPage };
+        for device in [&mut dense, &mut legacy] {
+            device.set_error_sampling(sampling);
+            let mut injector = FaultInjector::new(seed ^ 0x5AD0);
+            injector.arm(FaultPlan { kind: FaultKind::PowerCut, at: FaultAt::OpCount(cut_at) });
+            device.attach_injector(injector);
+        }
+        for (index, op) in ops.iter().enumerate() {
+            let dense_trace = apply(&mut dense, op);
+            let legacy_trace = apply(&mut legacy, op);
+            prop_assert_eq!(
+                &dense_trace, &legacy_trace,
+                "op {} ({:?}) diverged between backends", index, op
+            );
+        }
+        prop_assert_eq!(dense.stats(), legacy.stats());
+        prop_assert_eq!(dense.snapshot_blocks(), legacy.snapshot_blocks());
+        prop_assert_eq!(dense.now_days(), legacy.now_days());
+    }
+}
+
+/// Batched vs per-page error injection: same aged device, same read
+/// mix, independent RNG trajectories — the mean injected-error count
+/// per read must agree. Seeds are a fixed grid (not proptest-drawn) so
+/// the statistical tolerance is checked against one deterministic
+/// sample forever, and a pass can never flake.
+#[test]
+fn batched_error_counts_match_per_page_distribution() {
+    const SEEDS: u64 = 24;
+    const READS_PER_SEED: u32 = 2_000;
+    let mut totals = [0u64; 2];
+    let mut reads = [0u64; 2];
+    for seed in 0..SEEDS {
+        for (slot, sampling) in [ErrorSampling::PerPage, ErrorSampling::Batched]
+            .into_iter()
+            .enumerate()
+        {
+            let config = DeviceConfig::tiny(CellDensity::Plc).with_seed(seed * 7919 + 13);
+            let mut device = FlashDevice::new(&config);
+            device.set_error_sampling(sampling);
+            let data = vec![0x5Au8; device.page_total_bytes()];
+            // Wear the block so the RBER (and thus the expected error
+            // count) is well off zero, then age the data.
+            for _ in 0..40 {
+                device.program(addr(&device, 0, 0), &data).expect("program");
+                device.erase(0).expect("erase");
+            }
+            let pages = device.usable_pages(0).expect("usable");
+            for page in 0..pages {
+                device
+                    .program(addr(&device, 0, page), &data)
+                    .expect("program");
+            }
+            device.advance_days(90.0);
+            for i in 0..READS_PER_SEED {
+                device.read(addr(&device, 0, i % pages)).expect("read");
+            }
+            totals[slot] += device.stats().bit_errors_injected;
+            reads[slot] += u64::from(READS_PER_SEED);
+        }
+    }
+    let per_page_mean = totals[0] as f64 / reads[0] as f64;
+    let batched_mean = totals[1] as f64 / reads[1] as f64;
+    assert!(
+        per_page_mean > 0.5,
+        "workload too clean to compare distributions (mean {per_page_mean})"
+    );
+    let ratio = batched_mean / per_page_mean;
+    assert!(
+        (0.97..=1.03).contains(&ratio),
+        "batched mean {batched_mean:.4} vs per-page mean {per_page_mean:.4} (ratio {ratio:.4})"
+    );
+}

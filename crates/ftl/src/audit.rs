@@ -41,7 +41,7 @@ pub struct BlockMapSnapshot {
 ///
 /// Produced by [`Ftl::audit_snapshot`]; consumed by the auditors in
 /// `sos-analyze`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FtlState {
     /// The program mode the FTL applies to blocks it allocates.
     pub mode: ProgramMode,

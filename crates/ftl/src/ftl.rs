@@ -109,7 +109,7 @@ pub(crate) struct BlockInfo {
 }
 
 /// Result of a logical page read.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReadResult {
     /// Decoded page data (best effort when degraded).
     pub data: Vec<u8>,
@@ -206,7 +206,24 @@ impl Ftl {
             config.mode.physical, device_config.physical_density,
             "FTL mode must match device density"
         );
-        let device = FlashDevice::new(device_config);
+        Self::try_new_with_device(FlashDevice::new(device_config), config)
+    }
+
+    /// Builds an FTL over an already-constructed (fresh, fully erased)
+    /// device.
+    ///
+    /// This is the shadow-model hook: tests hand in a device on the
+    /// legacy page-store backend ([`FlashDevice::new_with_legacy_store`])
+    /// or with a non-default [`sos_flash::ErrorSampling`] and drive it
+    /// through the full translation layer. The device must be as fresh
+    /// as [`FlashDevice::new`] returns it — the constructor re-modes
+    /// every block, which only succeeds on erased blocks.
+    pub fn try_new_with_device(device: FlashDevice, config: FtlConfig) -> Result<Self, FtlError> {
+        assert_eq!(
+            config.mode.physical,
+            device.physical_density(),
+            "FTL mode must match device density"
+        );
         let geometry = *device.geometry();
         let codec = PageCodec::new(
             config.ecc,

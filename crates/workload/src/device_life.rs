@@ -8,11 +8,11 @@
 //! target fill level.
 
 use crate::filetypes::{byte_share, FileClass, FileMeta};
+use crate::hash::FastMap;
 use crate::trace::{DayTrace, TraceOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// How intensively the device is used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -84,8 +84,10 @@ impl WorkloadConfig {
 pub struct DeviceLife {
     config: WorkloadConfig,
     rng: StdRng,
-    files: HashMap<u64, FileMeta>,
-    /// Live file ids in creation order (hot = recent).
+    files: FastMap<u64, FileMeta>,
+    /// Live file ids in creation order (hot = recent). Ids are assigned
+    /// sequentially and removals preserve order, so this stays sorted
+    /// ascending — lookups may binary-search it.
     live: Vec<u64>,
     next_id: u64,
     fill_bytes: u64,
@@ -94,7 +96,36 @@ pub struct DeviceLife {
     /// days, so bursty large files average out to the configured rate.
     create_debt: f64,
     /// Resident bytes per class, for fill-aware class sampling.
-    resident: HashMap<FileClass, u64>,
+    resident: FastMap<FileClass, u64>,
+}
+
+/// Builds `"<class dir>/f<id padded to 6 digits>.<ext>"` without going
+/// through the `format!` machinery — file creation is hot enough in
+/// corpus generation that formatter dispatch shows up in profiles.
+fn file_path(class: FileClass, id: u64) -> String {
+    let dir = class.typical_path();
+    let ext = class.typical_extension();
+    let mut digits = [b'0'; 20];
+    let mut index = digits.len();
+    let mut rest = id;
+    loop {
+        index -= 1;
+        digits[index] = b'0' + u8::try_from(rest % 10).unwrap_or(0);
+        rest /= 10;
+        if rest == 0 {
+            break;
+        }
+    }
+    // Match `{:06}`: at least six digits, zero-padded.
+    index = index.min(digits.len() - 6);
+    let digits = std::str::from_utf8(&digits[index..]).unwrap_or("000000");
+    let mut path = String::with_capacity(dir.len() + ext.len() + digits.len() + 3);
+    path.push_str(dir);
+    path.push_str("/f");
+    path.push_str(digits);
+    path.push('.');
+    path.push_str(ext);
+    path
 }
 
 impl DeviceLife {
@@ -104,13 +135,13 @@ impl DeviceLife {
         DeviceLife {
             config,
             rng,
-            files: HashMap::new(),
+            files: FastMap::default(),
             live: Vec::new(),
             next_id: 0,
             fill_bytes: 0,
             day: 0,
             create_debt: 0.0,
-            resident: HashMap::new(),
+            resident: FastMap::default(),
         }
     }
 
@@ -180,6 +211,7 @@ impl DeviceLife {
         FileClass::PhotoCasual
     }
 
+    /// Creates one file of the given class; returns its size in bytes.
     fn create_file(&mut self, class: FileClass, ops: &mut Vec<TraceOp>) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
@@ -188,12 +220,7 @@ impl DeviceLife {
         // Per-file significance: class mean plus noise, clamped.
         let noise: f64 = self.rng.gen_range(-0.18..0.18);
         let significance = (class.significance_mean() + noise).clamp(0.0, 1.0);
-        let path = format!(
-            "{}/f{:06}.{}",
-            class.typical_path(),
-            id,
-            class.typical_extension()
-        );
+        let path = file_path(class, id);
         self.files.insert(
             id,
             FileMeta {
@@ -216,7 +243,7 @@ impl DeviceLife {
             class,
             bytes: size,
         });
-        id
+        size
     }
 
     /// Samples a live file with recency skew (recent files are hot).
@@ -233,12 +260,6 @@ impl DeviceLife {
         Some(self.live[index.min(self.live.len() - 1)])
     }
 
-    fn delete_file(&mut self, id: u64, ops: &mut Vec<TraceOp>) {
-        if self.force_delete(id).is_some() {
-            ops.push(TraceOp::Delete { file: id });
-        }
-    }
-
     /// Deletes a file outside the normal trace flow (host-initiated,
     /// e.g. the SOS auto-delete fallback). Returns the freed bytes.
     pub fn force_delete(&mut self, id: u64) -> Option<u64> {
@@ -247,7 +268,9 @@ impl DeviceLife {
         if let Some(bytes) = self.resident.get_mut(&meta.class) {
             *bytes = bytes.saturating_sub(meta.size);
         }
-        if let Some(position) = self.live.iter().position(|&f| f == id) {
+        // `live` is sorted ascending (sequential ids, order-preserving
+        // removals), so the position lookup can binary-search.
+        if let Ok(position) = self.live.binary_search(&id) {
             self.live.remove(position);
         }
         Some(meta.size)
@@ -265,8 +288,7 @@ impl DeviceLife {
             + self.create_debt;
         while budget > 0.0 {
             let class = self.sample_class();
-            let id = self.create_file(class, &mut ops);
-            budget -= self.files[&id].size as f64;
+            budget -= self.create_file(class, &mut ops) as f64;
         }
         self.create_debt = budget;
 
@@ -330,12 +352,34 @@ impl DeviceLife {
                     )
                 })
                 .collect();
-            // Oldest first (live is in creation order already).
+            // Oldest first (live is in creation order already). Deletes
+            // are batched: bookkeeping per file, then one ordered sweep
+            // over `live` instead of an O(live) splice per delete.
             candidates.reverse();
+            let mut removed: Vec<u64> = Vec::new();
             while self.fill_bytes > target {
                 let Some(id) = candidates.pop() else { break };
-                self.delete_file(id, &mut ops);
+                let Some(meta) = self.files.remove(&id) else {
+                    continue;
+                };
+                self.fill_bytes = self.fill_bytes.saturating_sub(meta.size);
+                if let Some(bytes) = self.resident.get_mut(&meta.class) {
+                    *bytes = bytes.saturating_sub(meta.size);
+                }
+                removed.push(id);
+                ops.push(TraceOp::Delete { file: id });
             }
+            // `removed` pops candidates in ascending-id order, matching
+            // the sort order of `live`, so one merge pass drops them all.
+            let mut cursor = 0;
+            self.live.retain(|&id| {
+                if cursor < removed.len() && removed[cursor] == id {
+                    cursor += 1;
+                    false
+                } else {
+                    true
+                }
+            });
         }
 
         DayTrace { day: self.day, ops }
@@ -353,6 +397,21 @@ mod tests {
         let mut life = DeviceLife::new(config);
         let traces = (0..days).map(|_| life.next_day()).collect();
         (life, traces)
+    }
+
+    #[test]
+    fn file_path_matches_format_reference() {
+        for class in FileClass::ALL {
+            for id in [0u64, 7, 999_999, 1_000_000, 123_456_789, u64::MAX] {
+                let expected = format!(
+                    "{}/f{:06}.{}",
+                    class.typical_path(),
+                    id,
+                    class.typical_extension()
+                );
+                assert_eq!(file_path(class, id), expected, "class {class:?} id {id}");
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod apps;
 pub mod device_life;
 pub mod filetypes;
 pub mod flash_cache;
+pub(crate) mod hash;
 pub mod trace;
 pub mod zipf;
 

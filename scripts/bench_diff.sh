@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Renders a before/after kernel comparison between two perf_suite JSON
+# reports (e.g. the committed BENCH_0005.json and a fresh run) as a
+# markdown table. CI uploads the result next to the raw reports so a
+# reviewer sees the per-kernel speed-up/regression without replaying
+# anything.
+#
+# Usage: scripts/bench_diff.sh BEFORE.json AFTER.json [OUT.md]
+#
+# perf_suite emits exactly one entry object per line, so a line-oriented
+# parse is reliable here; this is NOT a general JSON parser.
+set -euo pipefail
+
+before="${1:?usage: bench_diff.sh BEFORE.json AFTER.json [OUT.md]}"
+after="${2:?usage: bench_diff.sh BEFORE.json AFTER.json [OUT.md]}"
+out="${3:-/dev/stdout}"
+
+extract() {
+    # name<TAB>value<TAB>unit per entry line.
+    sed -n 's/.*"name": "\([^"]*\)", "value": \([0-9.eE+-]*\), "unit": "\([^"]*\)".*/\1\t\2\t\3/p' "$1"
+}
+
+extract "$before" > /tmp/bench_diff_before.$$
+extract "$after" > /tmp/bench_diff_after.$$
+trap 'rm -f /tmp/bench_diff_before.$$ /tmp/bench_diff_after.$$' EXIT
+
+{
+    echo "| kernel | before | after | ratio |"
+    echo "|--------|-------:|------:|------:|"
+    while IFS=$'\t' read -r name value unit; do
+        prior=$(awk -F'\t' -v n="$name" '$1 == n { print $2 }' /tmp/bench_diff_before.$$)
+        if [[ -n "$prior" ]]; then
+            ratio=$(awk -v a="$value" -v b="$prior" 'BEGIN { printf (b > 0 ? "%.2fx" : "n/a"), a / b }')
+            printf '| %s | %s %s | %s %s | %s |\n' "$name" "$prior" "$unit" "$value" "$unit" "$ratio"
+        else
+            printf '| %s | (new) | %s %s | — |\n' "$name" "$value" "$unit"
+        fi
+    done < /tmp/bench_diff_after.$$
+} > "$out"

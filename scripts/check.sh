@@ -28,9 +28,12 @@ echo "==> determinism JSON report: target/sos-determinism-report.json"
 if [[ "$fast" -eq 0 ]]; then
     run cargo build --release
     run cargo test -q
-    # Perf smoke: quick kernels vs the committed baseline; a missing
-    # baseline is a graceful skip inside perf_suite itself.
-    run ./target/release/perf_suite --quick --out target/BENCH_0005.json --check BENCH_0005.json
+    # Perf smoke: quick kernels vs the committed baseline, plus the
+    # improvement ratchet (best-ever per kernel; wins are banked into
+    # BENCH_0010.json — commit it when perf_suite reports an update).
+    # A missing baseline is a graceful skip inside perf_suite itself.
+    run ./target/release/perf_suite --quick --out target/BENCH_0005.json \
+        --check BENCH_0005.json --ratchet BENCH_0010.json
 fi
 
 echo "check.sh: all gates passed"
